@@ -1,0 +1,97 @@
+"""Shared machinery for the table/figure reproduction benches.
+
+Each bench regenerates one table or figure of the paper: it runs the
+full pipeline (characterize -> replicate with IOR -> measure -> join),
+prints the paper-style output, and asserts the *shape* claims (who
+wins, error bounds, usage bands).  pytest-benchmark times the pipeline;
+rounds are pinned to 1 because a run is deterministic and some span
+minutes of simulated-cluster work.
+
+Expensive intermediate results (app characterizations, per-config
+studies) are cached per session so related benches share them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.apps.btio import BTIOParams, btio_program
+from repro.apps.madbench2 import MADbench2Params, madbench2_program
+from repro.apps.synthetic import SyntheticParams, synthetic_program
+from repro.clusters import (
+    configuration_a,
+    configuration_b,
+    configuration_c,
+    finisterrae,
+)
+from repro.core.model import IOModel
+from repro.core.pipeline import (
+    characterize_app,
+    characterize_peaks_for,
+    estimate_on,
+    evaluate,
+    measure_on,
+)
+from repro.tracer.hooks import TraceBundle
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+CONFIGS = {
+    "configuration-A": configuration_a,
+    "configuration-B": configuration_b,
+    "configuration-C": configuration_c,
+    "finisterrae": finisterrae,
+}
+
+
+def once(benchmark, fn):
+    """Run a deterministic, potentially minutes-long pipeline exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+# -- cached characterizations -------------------------------------------------
+
+@lru_cache(maxsize=None)
+def synthetic_study() -> tuple[IOModel, TraceBundle]:
+    return characterize_app(synthetic_program, 4, SyntheticParams(),
+                            app_name="synthetic")
+
+
+@lru_cache(maxsize=None)
+def madbench_model() -> tuple[IOModel, TraceBundle]:
+    return characterize_app(madbench2_program, 16, MADbench2Params(),
+                            app_name="madbench2")
+
+
+@lru_cache(maxsize=None)
+def btio_model(cls: str, np_: int, comm_events: int = 24) -> tuple[IOModel, TraceBundle]:
+    params = BTIOParams(cls=cls, comm_events_per_step=comm_events)
+    return characterize_app(btio_program, np_, params,
+                            app_name=f"btio-{cls}")
+
+
+@lru_cache(maxsize=None)
+def usage_study(config_name: str):
+    """MADbench2 usage study on one Aohyper configuration (Tables IX/X)."""
+    factory = CONFIGS[config_name]
+    model, _ = madbench_model()
+    est = estimate_on(model, factory, config_name=config_name)
+    measure, mmodel = measure_on(madbench2_program, 16, MADbench2Params(),
+                                 cluster_factory=factory, app_name="madbench2")
+    peaks = characterize_peaks_for(factory)
+    return evaluate(mmodel, est, measure, peaks=peaks), peaks
+
+
+@lru_cache(maxsize=None)
+def btio_error_study(config_name: str, np_: int, comm_events: int = 24):
+    """BT-IO class D estimate-vs-measure on one configuration."""
+    factory = CONFIGS[config_name]
+    params = BTIOParams(cls="D", comm_events_per_step=comm_events)
+    model, _ = btio_model("D", np_, comm_events)
+    est = estimate_on(model, factory, config_name=config_name)
+    measure, mmodel = measure_on(btio_program, np_, params,
+                                 cluster_factory=factory, app_name="btio-D")
+    return evaluate(mmodel, est, measure)

@@ -1,0 +1,1 @@
+"""pytest-benchmark suite: one bench per paper table/figure."""

@@ -1,0 +1,53 @@
+"""Extension: characterize small, predict big.
+
+The paper notes the BT-IO model keeps its shape across 36/64/121
+processes (Table XI: "We have obtained the same behavior for the class
+D for 36, 64 and 121 processes").  ``repro.core.rescale`` turns that
+observation into a capability: characterize the application once at a
+*small* process count, rescale the model to the production count, and
+run the Table XII estimation there -- never tracing the big run.
+
+This bench predicts the 64-process class-D estimates on configuration C
+and Finisterrae from a 16-process characterization and compares them
+with the estimates from a true 64-process model.
+"""
+
+from __future__ import annotations
+
+from repro.clusters import configuration_c, finisterrae
+from repro.core.estimate import estimate_model
+from repro.core.model import models_equivalent
+from repro.core.rescale import rescale_model
+
+from bench_common import btio_model, once
+
+
+def study():
+    small, _ = btio_model("D", 16)
+    real, _ = btio_model("D", 64)
+    predicted = rescale_model(small, 64, etype_size=40)
+    rows = {}
+    for name, factory in [("conf-C", configuration_c),
+                          ("finisterrae", finisterrae)]:
+        est_real = estimate_model(real.phases, factory, name)
+        est_pred = estimate_model(predicted.phases, factory, name)
+        rows[name] = (est_real.total_time_ch, est_pred.total_time_ch)
+    return real, predicted, rows
+
+
+def test_extension_rescaled_prediction(benchmark):
+    real, predicted, rows = once(benchmark, study)
+
+    print("\nExtension: 64p class-D estimates from a 16p characterization")
+    print(f"{'config':<14} {'real-64p est':>13} {'rescaled-16p est':>17} {'gap':>6}")
+    for name, (t_real, t_pred) in rows.items():
+        gap = 100 * abs(t_pred - t_real) / t_real
+        print(f"{name:<14} {t_real:>12.1f}s {t_pred:>16.1f}s {gap:>5.1f}%")
+        # The predicted estimate tracks the true-model estimate closely.
+        assert gap < 10.0
+
+    # The rescaled model is structurally the real 64p model.
+    assert models_equivalent(real, predicted)
+    # And the selection decision is identical.
+    assert (rows["finisterrae"][0] < rows["conf-C"][0]) == \
+        (rows["finisterrae"][1] < rows["conf-C"][1])

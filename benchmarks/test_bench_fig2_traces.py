@@ -1,0 +1,33 @@
+"""Figure 2: the per-process trace files of the 4-process example.
+
+Regenerates the trace excerpt -- offsets 0, 265302, 530604, ... (etype
+units), request size 10 612 080 bytes, ticks ~122 apart -- and checks
+those exact values.
+"""
+
+from __future__ import annotations
+
+from repro.report.figures import figure2_trace_excerpt
+
+from bench_common import once, synthetic_study
+
+
+def test_figure2_trace_excerpt(benchmark):
+    def pipeline():
+        _, bundle = synthetic_study()
+        return bundle, figure2_trace_excerpt(bundle, nrows=4, ranks=(0, 1))
+
+    bundle, text = once(benchmark, pipeline)
+    print("\n" + text)
+
+    writes0 = [r for r in bundle.by_rank(0) if r.kind == "write"]
+    assert [w.offset for w in writes0[:4]] == [0, 265302, 530604, 795906]
+    assert all(w.request_size == 10612080 for w in writes0[:4])
+    assert all(w.op == "MPI_File_write_at_all" for w in writes0[:4])
+    # Neighbouring ranks reach the same operation within a few ticks
+    # (Fig. 2: 148 vs 147).
+    writes1 = [r for r in bundle.by_rank(1) if r.kind == "write"]
+    assert abs(writes0[0].tick - writes1[0].tick) <= 2
+    # ~121 communication events separate consecutive writes.
+    gap = writes0[1].tick - writes0[0].tick
+    assert 100 <= gap <= 140

@@ -1,0 +1,35 @@
+"""Figure 3: the Local Access Pattern files of the 4-process example.
+
+Each process's 40 writes compress into one LAP row (rep 40,
+rs 10 612 080, disp 265 302 etypes, initOffset 0 in its view), followed
+by the matching 40-rep read row -- exactly Fig. 3's lines.
+"""
+
+from __future__ import annotations
+
+from repro.core.lap import extract_laps
+from repro.report.figures import figure3_lap
+
+from bench_common import once, synthetic_study
+
+
+def test_figure3_lap(benchmark):
+    def pipeline():
+        _, bundle = synthetic_study()
+        entries = extract_laps(bundle.records)
+        return entries, figure3_lap(entries)
+
+    entries, text = once(benchmark, pipeline)
+    print("\n" + text)
+
+    # Writes appear as 40 one-shot entries per rank (they are separated
+    # by communication); the reads compress into one rep-40 entry.
+    for rank in range(4):
+        rank_entries = [e for e in entries if e.rank == rank]
+        reads = [e for e in rank_entries if e.ops[0].kind == "read"]
+        assert len(reads) == 1
+        (read,) = reads
+        assert read.rep == 40
+        assert read.ops[0].request_size == 10612080
+        assert read.ops[0].disp == 265302
+        assert read.ops[0].init_offset == 0  # view-relative, like Fig. 3

@@ -1,0 +1,33 @@
+"""Figure 4: phases 1 and 2 of the 4-process example.
+
+Phase 1: the four processes' first collective write, view offset 0.
+Phase 2: the second write, one repetition later, ticks ~122 higher --
+the offset difference being the displacement from the initial offset.
+"""
+
+from __future__ import annotations
+
+from repro.report.figures import figure4_phases
+
+from bench_common import once, synthetic_study
+from repro.core.model import IOModel
+
+
+def test_figure4_phases(benchmark):
+    def pipeline():
+        model, bundle = synthetic_study()
+        return model, figure4_phases(model, nphases=2)
+
+    model, text = once(benchmark, pipeline)
+    print("\n" + text)
+
+    ph1, ph2 = model.phases[0], model.phases[1]
+    assert ph1.ranks == ph2.ranks == (0, 1, 2, 3)
+    # Same similar pattern (simLAP), occurring one repetition later.
+    assert ph1.ops[0].op == ph2.ops[0].op == "MPI_File_write_at_all"
+    assert ph1.ops[0].request_size == ph2.ops[0].request_size == 10612080
+    # View-relative offsets: phase 1 at 0, phase 2 at 265302 etypes.
+    assert ph1.ops[0].offset_fn(0) == 0
+    assert ph2.ops[0].offset_fn(0) == 265302
+    # Phase 2 happens ~122 ticks after phase 1 (Fig. 4's tick column).
+    assert 100 <= ph2.tick - ph1.tick <= 140

@@ -1,0 +1,48 @@
+"""Figure 5: the I/O abstract model of the 4-process example.
+
+Regenerates the 3-D global access pattern (tick, process, offset): 40
+write phases marching diagonally through the file plus one read phase
+forming the "vertical blue line", with the strided spatial pattern
+(each process writing its block of every repetition group).
+"""
+
+from __future__ import annotations
+
+from repro.core.patterns import ascii_plot, global_access_pattern, to_csv
+
+from bench_common import once, synthetic_study
+
+RS = 10612080
+
+
+def test_figure5_global_access_pattern(benchmark):
+    def pipeline():
+        model, bundle = synthetic_study()
+        points = global_access_pattern(bundle.records, model)
+        return model, points
+
+    model, points = once(benchmark, pipeline)
+    print("\n" + ascii_plot(points, width=70, height=16))
+    print(f"[csv: {len(to_csv(points).splitlines()) - 1} points]")
+
+    assert model.nphases == 41
+    # Every point belongs to a phase.
+    assert all(p.phase_id is not None for p in points)
+    writes = [p for p in points if p.kind == "write"]
+    reads = [p for p in points if p.kind == "read"]
+    assert len(writes) == 4 * 40 and len(reads) == 4 * 40
+
+    # Spatial pattern: phase ph's process p starts at (p + 4*(ph-1)) * rs.
+    for ph_num in (1, 2, 40):
+        fn = model.phases[ph_num - 1].ops[0].abs_offset_fn
+        for p in range(4):
+            assert fn(p) == (p + 4 * (ph_num - 1)) * RS
+
+    # Temporal pattern: the read phase is one burst ("vertical line") --
+    # all its operations share one narrow tick window per rank.
+    read_ticks = sorted({p.tick for p in reads if p.rank == 0})
+    assert read_ticks[-1] - read_ticks[0] == 39  # 40 back-to-back events
+
+    # Writes span the whole execution (separated by communication).
+    write_ticks = sorted({p.tick for p in writes if p.rank == 0})
+    assert write_ticks[-1] - write_ticks[0] > 39 * 100

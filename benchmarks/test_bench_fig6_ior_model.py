@@ -1,0 +1,34 @@
+"""Figure 6: the I/O model of IOR itself.
+
+IOR with -w -r produces exactly one writing phase followed by one
+reading phase in the global access pattern -- the figure the paper uses
+to illustrate a minimal model.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ior import IORParams, ior_program
+from repro.core.pipeline import characterize_app
+from repro.report.tables import phases_table
+
+from bench_common import MB, once
+
+
+def test_figure6_ior_model(benchmark):
+    params = IORParams(np=4, block_size=64 * MB, transfer_size=16 * MB,
+                       kinds=("write", "read"))
+
+    def pipeline():
+        return characterize_app(ior_program, 4, params, app_name="IOR")
+
+    model, bundle = once(benchmark, pipeline)
+    print("\n" + phases_table(model, title="I/O model of IOR (Fig. 6)"))
+
+    assert model.nphases == 2
+    write_ph, read_ph = model.phases
+    assert write_ph.op_label == "W" and read_ph.op_label == "R"
+    assert write_ph.tick < read_ph.tick
+    # Each phase moves the whole file once.
+    assert write_ph.weight == read_ph.weight == 4 * 64 * MB
+    # Per-process start offsets are rank-linear (shared-file layout).
+    assert write_ph.ops[0].abs_offset_fn.slope == 64 * MB

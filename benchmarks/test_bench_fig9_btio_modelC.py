@@ -1,0 +1,56 @@
+"""Figure 9: the I/O model of NAS BT-IO, class C, 16 processes.
+
+The paper extracts the model on configurations A and B and obtains the
+*same* model -- its system independence.  We characterize on the neutral
+platform and on both Aohyper configurations and compare: 41 phases
+(40 collective writes + 1 read phase of rep 40), identical weights and
+offset functions everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.apps.btio import BTIOParams, btio_program
+from repro.clusters import configuration_a, configuration_b
+from repro.core.model import IOModel
+from repro.report.tables import phases_table
+from repro.tracer import trace_run
+
+from bench_common import btio_model, once
+
+
+def _model_on(factory) -> IOModel:
+    params = BTIOParams(cls="C")
+    bundle = trace_run(btio_program, 16, factory() if factory else None, params)
+    return IOModel.from_trace(bundle, app_name="btio-C")
+
+
+def test_figure9_btio_class_c_model_independent(benchmark):
+    def pipeline():
+        neutral, _ = btio_model("C", 16)
+        on_a = _model_on(configuration_a)
+        on_b = _model_on(configuration_b)
+        return neutral, on_a, on_b
+
+    neutral, on_a, on_b = once(benchmark, pipeline)
+    table = phases_table(neutral,
+                         title="Fig. 9: BT-IO class C, 16 procs (41 phases)")
+    print("\n" + "\n".join(table.splitlines()[:8]) + "\n  ...")
+
+    for model in (neutral, on_a, on_b):
+        assert model.nphases == 41
+        assert [ph.op_label for ph in model.phases[:40]] == ["W"] * 40
+        assert model.phases[40].op_label == "R"
+        assert model.phases[40].rep == 40
+
+    # The model is identical across configurations: same phases, same
+    # weights, same offset expressions (only measured durations differ).
+    for a, b in zip(neutral.phases, on_a.phases):
+        assert a.weight == b.weight and a.rep == b.rep
+        assert a.ops[0].abs_offset_fn(7) == b.ops[0].abs_offset_fn(7)
+    for a, b in zip(neutral.phases, on_b.phases):
+        assert a.weight == b.weight and a.rep == b.rep
+        assert a.ops[0].abs_offset_fn(7) == b.ops[0].abs_offset_fn(7)
+
+    # Request size ~10 MB (paper: "Request size 10MB").
+    rs = neutral.phases[0].request_size
+    assert 10_000_000 < rs < 11_000_000

@@ -1,0 +1,44 @@
+"""Table IX: I/O system utilization of MADbench2 on configuration A.
+
+Paper row shape (16 procs, 4 GB file, shared file):
+
+    phase  #oper  weight  BW_PK  BW_MD  usage
+    1      128 W  4GB     400    93     23
+    2      32 R   1GB     350    68     18
+    3      192 WR 6GB     375    63     16
+    4      32 W   1GB     400    89     22
+    5      128 R  4GB     350    66     19
+
+Shape claims checked: BW_PK ~350-400 (RAID 5 device level), BW_MD an
+order below it (one GbE through NFS), usage in the ~15-35 % band, and
+phase op counts/weights exact.
+"""
+
+from __future__ import annotations
+
+from repro.report.tables import usage_table
+
+from bench_common import GB, once, usage_study
+
+
+def test_table_ix_usage_configuration_a(benchmark):
+    ev, peaks = once(benchmark, lambda: usage_study("configuration-A"))
+    print("\n" + usage_table(
+        ev, title="Table IX: system utilization on configuration A"))
+    print(f"IOzone peaks: write={peaks['write']:.0f} read={peaks['read']:.0f} MB/s")
+
+    assert [r.n_operations for r in ev.rows] == [128, 32, 192, 32, 128]
+    assert [r.op_label for r in ev.rows] == ["W", "R", "W-R", "W", "R"]
+    assert [r.weight // GB for r in ev.rows] == [4, 1, 6, 1, 4]
+
+    # Device-level peak near the paper's 400/350.
+    assert 350 <= peaks["write"] <= 450
+    assert 310 <= peaks["read"] <= 390
+
+    for row in ev.rows:
+        # NFS over 1 GbE: measured bandwidth in the 60-110 MB/s band.
+        assert 55 <= row.bw_md_mb_s <= 115
+        # eq. (5): usage in the paper's ~16-23 % band (we allow 15-35).
+        assert 15 <= row.usage_pct <= 35
+        # The IOR replay tracks the application within the paper's bound.
+        assert row.error_rel_pct < 20

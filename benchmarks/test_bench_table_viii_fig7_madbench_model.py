@@ -1,0 +1,53 @@
+"""Table VIII + Figure 7: the I/O model of MADbench2.
+
+16 processes, 8KPIX, shared filetype, 32 MB request size -> five phases:
+
+    1: 16 write, initOffset idP*8*32MB,          rep 8, 4 GB
+    2: 16 read,  initOffset idP*8*32MB,          rep 2, 1 GB
+    3: 16 W-R,   writes at idP*8*32MB,
+                 reads at idP*8*32MB + 2*32MB,   rep 6, 6 GB
+    4: 16 write, bins 6-7 (paper: -2*32MB from the region end), rep 2, 1 GB
+    5: 16 read,  initOffset idP*8*32MB,          rep 8, 4 GB
+"""
+
+from __future__ import annotations
+
+from repro.core.patterns import ascii_plot, global_access_pattern
+from repro.report.tables import phases_table
+
+from bench_common import GB, MB, madbench_model, once
+
+RS = 32 * MB
+
+
+def test_table_viii_and_fig7_madbench_model(benchmark):
+    model, bundle = once(benchmark, madbench_model)
+
+    print("\n" + phases_table(
+        model, title="Table VIII: I/O phases of MADbench2 (16 procs)"))
+    points = global_access_pattern(bundle.records, model)
+    print(ascii_plot(points, width=70, height=16))
+
+    assert model.nphases == 5
+    assert [ph.op_label for ph in model.phases] == ["W", "R", "W-R", "W", "R"]
+    assert [ph.rep for ph in model.phases] == [8, 2, 6, 2, 8]
+    assert [ph.weight // GB for ph in model.phases] == [4, 1, 6, 1, 4]
+    assert all(ph.np == 16 for ph in model.phases)
+    assert all(ph.request_size == RS for ph in model.phases)
+
+    # f(initOffset) = idP * 8 * 32MB for phases 1, 2, 5.
+    for idx in (0, 1, 4):
+        fn = model.phases[idx].ops[0].abs_offset_fn
+        assert fn.slope == 8 * RS and fn.intercept == 0
+    # Phase 3's reads run two bins ahead (+2 * 32MB).
+    read_op = next(o for o in model.phases[2].ops if o.kind == "read")
+    assert read_op.abs_offset_fn.intercept == 2 * RS
+    # Phase 4 writes the trailing two bins.
+    assert model.phases[3].ops[0].abs_offset_fn.intercept == 6 * RS
+
+    # Metadata bullets of section IV-A.
+    (f,) = model.metadata.files
+    text = " ".join(f.statements())
+    for fragment in ("Individual file pointers", "Non-collective",
+                     "Sequential access mode", "Shared access type"):
+        assert fragment in text

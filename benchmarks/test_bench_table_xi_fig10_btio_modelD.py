@@ -1,0 +1,53 @@
+"""Table XI + Figure 10: BT-IO class D model and its phase formulas.
+
+Class D: 50 collective-write phases plus a 50-rep read phase, with
+
+    phases 1-50:  np W, initOffset = rs*idP + rs*(ph-1) + rs*(np-1)*(ph-1)
+    phase  51:    np R, rep 50, same formula over the repetition index
+
+(the two +rs terms collapse to rs*idP + rs*np*(ph-1)).  The paper finds
+the same model on configuration C and Finisterrae for 36, 64 and 121
+processes -- only the weights change with np.
+"""
+
+from __future__ import annotations
+
+from repro.apps.btio import BTIOParams
+from repro.report.tables import phases_table
+
+from bench_common import btio_model, once
+
+
+def test_table_xi_fig10_btio_class_d_model(benchmark):
+    def pipeline():
+        model36, _ = btio_model("D", 36)
+        model64, _ = btio_model("D", 64)
+        return model36, model64
+
+    model36, model64 = once(benchmark, pipeline)
+    table = phases_table(model36, title="Table XI: BT-IO class D, 36 procs")
+    print("\n" + "\n".join(table.splitlines()[:6]) + "\n  ...\n"
+          + table.splitlines()[-1])
+
+    for model, np_ in ((model36, 36), (model64, 64)):
+        rs = BTIOParams(cls="D").request_size(np_)
+        assert model.nphases == 51
+        # Phases 1-50: writes with the Table XI offset formula.
+        for ph_num in (1, 2, 25, 50):
+            ph = model.phases[ph_num - 1]
+            assert ph.op_label == "W" and ph.rep == 1
+            fn = ph.ops[0].abs_offset_fn
+            assert fn.slope == rs
+            assert fn.intercept == rs * (ph_num - 1) + \
+                rs * (np_ - 1) * (ph_num - 1)
+            assert ph.weight == np_ * rs
+        # Phase 51: the 50-rep read phase.
+        last = model.phases[50]
+        assert last.op_label == "R" and last.rep == 50
+        assert last.weight == 50 * np_ * rs
+        assert last.ops[0].disp > 0  # strides dump-to-dump
+
+    # Same model shape for both process counts; weights scale with class
+    # volume (total bytes constant: np * rs is the mesh dump size).
+    assert model36.nphases == model64.nphases
+    assert model36.total_weight == model64.total_weight

@@ -1,0 +1,61 @@
+"""Table XII: I/O time estimation and configuration selection.
+
+BT-IO class D, 64 processes, estimated via IOR replication (eqs. 1-2)
+on configuration C and Finisterrae.  Paper values (seconds):
+
+    Phase 1-50:  conf C 1167.40   Finisterrae 932.36
+    Phase 51:    conf C 2868.51   Finisterrae 844.42
+
+Shape claims: Finisterrae is faster on both phase groups, by a large
+factor (~3x) on the read phase; the methodology therefore selects
+Finisterrae -- without ever running BT-IO on either system.
+"""
+
+from __future__ import annotations
+
+from repro.clusters import configuration_c, finisterrae
+from repro.core.estimate import estimate_model, select_configuration
+from repro.report.tables import time_estimation_table
+
+from bench_common import btio_model, once
+
+
+def test_table_xii_selection(benchmark):
+    def pipeline():
+        model, _ = btio_model("D", 64)
+        est_c = estimate_model(model.phases, configuration_c, "conf. C")
+        est_ft = estimate_model(model.phases, finisterrae, "Finisterrae")
+        choice = select_configuration(model.phases, {
+            "configuration-C": configuration_c,
+            "finisterrae": finisterrae,
+        })
+        return model, est_c, est_ft, choice
+
+    model, est_c, est_ft, choice = once(benchmark, pipeline)
+
+    def group(est):
+        writes = sum(p.time_ch for p in est.phases if p.op_label == "W")
+        read = next(p.time_ch for p in est.phases if p.op_label == "R")
+        return {"Phase 1-50": writes, "Phase 51": read}
+
+    totals = {"conf. C": group(est_c), "Finisterrae": group(est_ft)}
+    print("\n" + time_estimation_table(
+        totals, title="Table XII: Time_io(CH), BT-IO class D, 64 procs"))
+    print(f"selected: {choice.best}")
+
+    c, ft = totals["conf. C"], totals["Finisterrae"]
+    # Finisterrae wins both groups.
+    assert ft["Phase 1-50"] < c["Phase 1-50"]
+    assert ft["Phase 51"] < c["Phase 51"]
+    # The read phase gap is the big one (paper: 2868 vs 844, ~3.4x).
+    assert c["Phase 51"] / ft["Phase 51"] > 2.0
+    # Write phases are closer (paper: 1167 vs 932, ~1.25x).
+    assert 1.05 < c["Phase 1-50"] / ft["Phase 1-50"] < 2.0
+    # And the selection picks Finisterrae.
+    assert choice.best == "finisterrae"
+
+    # Magnitudes land in the paper's range (hundreds to thousands of s).
+    assert 700 <= c["Phase 1-50"] <= 2000
+    assert 1800 <= c["Phase 51"] <= 4000
+    assert 500 <= ft["Phase 1-50"] <= 1400
+    assert 500 <= ft["Phase 51"] <= 1400

@@ -1,0 +1,43 @@
+"""Table XIV: estimation error on Finisterrae, 64 processes.
+
+Paper values:
+
+    Phase 1-50:  Time_CH 932.36  Time_MD 924.85  error 1%
+    Phase 51:    Time_CH 844.42  Time_MD 909.43  error 7%
+
+Shape claims: both groups under 10 % error; measured magnitudes in the
+high hundreds of seconds; the whole BT-IO run stays ~2-3x faster than
+configuration C (which is why Table XII's selection was right).
+"""
+
+from __future__ import annotations
+
+from bench_common import btio_error_study, once
+
+
+def test_table_xiv_error_finisterrae(benchmark):
+    def pipeline():
+        return (btio_error_study("finisterrae", 64),
+                btio_error_study("configuration-C", 64))
+
+    ev_ft, ev_c = once(benchmark, pipeline)
+
+    w_ch = sum(r.time_ch for r in ev_ft.rows if r.op_label == "W")
+    w_md = sum(r.time_md for r in ev_ft.rows if r.op_label == "W")
+    read = next(r for r in ev_ft.rows if r.op_label == "R")
+    err_w = 100 * abs(w_ch - w_md) / w_md
+
+    print("\nTable XIV: error on Finisterrae (BT-IO class D, 64p)")
+    print(f" Phase 1-50: Time_CH={w_ch:.2f} Time_MD={w_md:.2f} err={err_w:.1f}%")
+    print(f" Phase 51:   Time_CH={read.time_ch:.2f} Time_MD={read.time_md:.2f} "
+          f"err={read.time_error_rel_pct:.1f}%")
+
+    assert err_w < 10.0
+    assert read.time_error_rel_pct < 10.0
+    assert 500 <= w_md <= 1400
+    assert 500 <= read.time_md <= 1400
+
+    # The selection was validated: Finisterrae's measured total beats C's.
+    total_ft = sum(r.time_md for r in ev_ft.rows)
+    total_c = sum(r.time_md for r in ev_c.rows)
+    assert total_ft < total_c

@@ -1,0 +1,64 @@
+"""Tables III-V: the IOR / IOzone characterization parameter spaces.
+
+Table III: IOR input parameters (FZ = NP*b, RS via -t, access mode,
+shared/unique via -F, collective via -c).  Table IV: IOzone inputs
+(file size -s, request size -y, sequential/strided/random modes).
+Table V: the output metrics (mean read/write times, IOPS, MB/s).
+
+The bench sweeps a compact grid of both benchmarks on configuration A
+and checks the metric relations the methodology relies on.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ior import IORParams, run_ior
+from repro.apps.iozone import IOzoneParams, run_iozone
+from repro.clusters import configuration_a
+from repro.report.tables import render
+
+from bench_common import MB, once
+
+
+def sweep():
+    ior_grid = []
+    for collective in (False, True):
+        for unique in (False, True):
+            # Blocks sized past the NAS write-back cache (FZ rule of
+            # Table II) so the sweep measures sustained rates.
+            params = IORParams(np=8, block_size=256 * MB, transfer_size=32 * MB,
+                               collective=collective, file_per_process=unique)
+            result = run_ior(configuration_a(), params)
+            ior_grid.append((params, result))
+
+    ion = configuration_a().globalfs.ions[0]
+    iozone = run_iozone(ion, IOzoneParams(
+        file_size_mb=2048, request_sizes_kb=(256, 1024, 4096),
+        max_ops_per_cell=1024))
+    return ior_grid, iozone
+
+
+def test_tables_iii_v_characterization_sweeps(benchmark):
+    ior_grid, iozone = once(benchmark, sweep)
+
+    rows = [[p.command_line(), f"{r.bw('write'):.0f}", f"{r.bw('read'):.0f}"]
+            for p, r in ior_grid]
+    print("\n" + render(["IOR invocation (Table III)", "BW_w", "BW_r"], rows))
+    rows = [[p, k, rkb, f"{bw:.0f}"] for (p, k, rkb), bw
+            in sorted(iozone.grid.items())]
+    print(render(["pattern (Table IV)", "op", "RS (KB)", "MB/s"], rows,
+                 title="IOzone on configuration A's I/O node"))
+
+    # Table V metrics exist and are positive for every cell.
+    for _, result in ior_grid:
+        assert result.bw("write") > 0 and result.bw("read") > 0
+        assert result.times["write"] > 0 and result.times["read"] > 0
+    assert all(v > 0 for v in iozone.grid.values())
+
+    # Relations the methodology uses:
+    # (a) IOzone's sequential pattern dominates random (peak extraction).
+    for kind in ("write", "read"):
+        assert iozone.bw("sequential", kind, 4096) >= \
+            iozone.bw("random", kind, 4096)
+    # (b) the device-level peak is far above what IOR sees through NFS.
+    for _, result in ior_grid:
+        assert iozone.peak_bw("write") > 2 * result.bw("write")

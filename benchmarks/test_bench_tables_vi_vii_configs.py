@@ -1,0 +1,51 @@
+"""Tables VI and VII: the four I/O configuration inventories."""
+
+from __future__ import annotations
+
+from repro.clusters import (
+    configuration_a,
+    configuration_b,
+    configuration_c,
+    finisterrae,
+)
+from repro.report.tables import configuration_table
+
+from bench_common import once
+
+
+def test_tables_vi_vii_configuration_inventories(benchmark):
+    def pipeline():
+        return {name: f() for name, f in [
+            ("A", configuration_a), ("B", configuration_b),
+            ("C", configuration_c), ("FT", finisterrae)]}
+
+    clusters = once(benchmark, pipeline)
+
+    print("\n" + configuration_table(
+        [clusters["A"].description, clusters["B"].description],
+        title="Table VI: Aohyper configurations"))
+    print("\n" + configuration_table(
+        [clusters["C"].description, clusters["FT"].description],
+        title="Table VII: configuration C and Finisterrae"))
+
+    a, b = clusters["A"], clusters["B"]
+    c, ft = clusters["C"], clusters["FT"]
+
+    # Table VI rows.
+    assert a.description.global_filesystem == "NFS Ver 3"
+    assert b.description.global_filesystem == "PVFS2 2.8.2"
+    assert a.description.n_devices == 5 and b.description.n_devices == 3
+    assert "RAID 5" in a.description.redundancy
+    assert b.description.redundancy == "JBOD"
+    assert len(a.compute_nodes) == len(b.compute_nodes) == 8
+
+    # Table VII rows.
+    assert c.description.io_library == "OpenMPI"
+    assert ft.description.global_filesystem == "Lustre (HP SFS)"
+    assert ft.description.n_devices == 866
+    assert len(ft.globalfs.ions) == 18
+    assert "Infiniband" in ft.description.comm_network
+
+    # Structural checks behind the table.
+    assert len(a.globalfs.ions[0].fs.volume.disks) == 5
+    assert all(len(ion.fs.volume.disks) == 1 for ion in b.globalfs.ions)

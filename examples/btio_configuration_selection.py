@@ -1,0 +1,79 @@
+"""The paper's BT-IO study (section IV-B, Tables XI-XIV, Figs. 9-10).
+
+Characterizes NAS BT-IO FULL, prints the Table XI phase description,
+estimates the I/O time on configuration C and Finisterrae (Table XII),
+selects the faster subsystem, and validates the estimate against a
+measured run (Tables XIII/XIV).
+
+Run:  python examples/btio_configuration_selection.py [--cls C] [--np 16]
+
+Class D with 64+ processes reproduces the paper's exact setting but
+takes a few minutes of simulation; the default (class C, 16 procs) runs
+in seconds with the same structure.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.apps.btio import BTIOParams, btio_program
+from repro.clusters import configuration_c, finisterrae
+from repro.core.estimate import select_configuration
+from repro.core.pipeline import characterize_app, estimate_on, evaluate, measure_on
+from repro.report.tables import (
+    btio_phase_groups,
+    error_table,
+    phases_table,
+    time_estimation_table,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cls", default="C", choices="ABCD")
+    parser.add_argument("--np", type=int, default=16)
+    args = parser.parse_args()
+
+    params = BTIOParams(cls=args.cls)
+    factories = {"conf. C": configuration_c, "Finisterrae": finisterrae}
+
+    # Table XI / Figs. 9-10: the model.
+    model, _ = characterize_app(btio_program, args.np, params,
+                                app_name=f"BT-IO class {args.cls}")
+    table = phases_table(model, title=f"Table XI: BT-IO class {args.cls}, "
+                                      f"{args.np} procs")
+    lines = table.splitlines()
+    print("\n".join(lines[:7] + ["  ..."] + lines[-1:]))
+    print()
+
+    # Table XII: estimated times per configuration.
+    ndumps = params.ndumps
+    estimates = {name: estimate_on(model, factory, config_name=name)
+                 for name, factory in factories.items()}
+    grouped = {}
+    for name, est in estimates.items():
+        writes = sum(p.time_ch for p in est.phases if p.op_label == "W")
+        read = next(p.time_ch for p in est.phases if p.op_label == "R")
+        grouped[name] = {f"Phase 1-{ndumps}": writes,
+                         f"Phase {ndumps + 1}": read}
+    print(time_estimation_table(grouped, title="Table XII: Time_io(CH)"))
+
+    choice = select_configuration(model.phases, factories)
+    print(f"\nselected configuration: {choice.best} "
+          f"({', '.join(f'{n}={t:.1f}s' for n, t in choice.ranking())})")
+    print()
+
+    # Tables XIII/XIV: validate on both systems.
+    groups = btio_phase_groups(ndumps)
+    for name, factory in factories.items():
+        measure, mmodel = measure_on(btio_program, args.np, params,
+                                     cluster_factory=factory,
+                                     app_name=f"BT-IO class {args.cls}")
+        ev = evaluate(mmodel, estimates[name], measure)
+        print(error_table(ev, groups,
+                          title=f"Estimation error on {name} ({args.np}p)"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro -- reproduction of Mendez, Rexachs & Luque, "Modeling Parallel
+Scientific Applications through their Input/Output Phases" (IEEE CLUSTER 2012).
+
+Subpackages
+-----------
+``repro.simmpi``
+    Deterministic simulated MPI runtime (engine, MPI-IO, datatypes).
+``repro.iosim``
+    I/O subsystem simulator: disks, RAID/JBOD, networks, I/O nodes,
+    NFS/PVFS2/Lustre, device monitoring.
+``repro.tracer``
+    PAS2P-style MPI-IO tracing tool producing the paper's trace format.
+``repro.core``
+    The paper's contribution: local access patterns, I/O phases,
+    f(initOffset), the I/O abstract model, IOR replication and the
+    time/usage/error estimators (eqs. 1-7).
+``repro.apps``
+    Workloads on the substrate: IOR, IOzone, MADbench2, NAS BT-IO and the
+    4-process example of Figs. 2-5.
+``repro.clusters``
+    The paper's four I/O configurations (Aohyper A/B, configuration C,
+    Finisterrae).
+``repro.report``
+    Paper-style table and figure-series rendering.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,40 @@
+"""Workloads on the simulated substrate.
+
+* :mod:`repro.apps.ior` -- IOR (characterization + phase replication).
+* :mod:`repro.apps.iozone` -- IOzone device-level characterization.
+* :mod:`repro.apps.madbench2` -- MADbench2 in IO mode.
+* :mod:`repro.apps.btio` -- NAS BT-IO, subtype FULL.
+* :mod:`repro.apps.synthetic` -- the 4-process example of Figs. 2-5.
+* :mod:`repro.apps.roms` -- ROMS-style upwelling over parallel HDF5
+  (the paper's future-work workload).
+"""
+
+from .btio import BTIOParams, btio_program, expected_phase_count, validate_np
+from .ior import IORParams, IORResult, ior_program, run_ior
+from .iozone import IOzoneParams, IOzoneResult, characterize_peaks, run_iozone
+from .madbench2 import MADbench2Params, TABLE_VIII_SHAPE, madbench2_program
+from .roms import HISTORY_FIELDS, ROMSParams, roms_program
+from .synthetic import SyntheticParams, synthetic_program
+
+__all__ = [
+    "BTIOParams",
+    "IORParams",
+    "IORResult",
+    "IOzoneParams",
+    "HISTORY_FIELDS",
+    "IOzoneResult",
+    "MADbench2Params",
+    "ROMSParams",
+    "SyntheticParams",
+    "TABLE_VIII_SHAPE",
+    "btio_program",
+    "characterize_peaks",
+    "expected_phase_count",
+    "ior_program",
+    "madbench2_program",
+    "roms_program",
+    "run_ior",
+    "run_iozone",
+    "synthetic_program",
+    "validate_np",
+]

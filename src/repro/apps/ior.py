@@ -1,0 +1,161 @@
+"""IOR reimplemented on the simulated substrate (paper Tables III/V).
+
+IOR is both a characterization workload and -- in the paper's
+methodology -- the *replication tool*: every phase of an application's
+I/O model is replayed by one IOR run configured with
+``s=1, b=weight(ph), t=rs(ph), NP=np(ph)`` plus ``-F`` for unique files
+and ``-c`` for collective I/O (section III-B).
+
+This module mirrors the relevant IOR options:
+
+=========  =====================================================
+``-s``     segments per process
+``-b``     block size: contiguous bytes per process per segment
+``-t``     transfer size: bytes per I/O call
+``-F``     filePerProcess (unique access type)
+``-c``     collective I/O
+``-z``     random offsets within the block
+``-w/-r``  write / read tests
+=========  =====================================================
+
+File layout matches IOR's: a shared file interleaves per-process blocks
+segment-major (process p, segment s at offset ``(s*np + p) * b``).
+
+The result reports mean bandwidth per operation type, computed over the
+span from the first operation's start to the last one's end -- IOR's
+inter-test timing with barriers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.simmpi.context import RankContext
+from repro.simmpi.engine import Engine, Platform
+from repro.simmpi.errors import MPIUsageError
+from repro.simmpi.fileio import IOEvent
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class IORParams:
+    """One IOR invocation (api=MPIIO)."""
+
+    np: int = 4
+    block_size: int = 16 * MB  # -b
+    transfer_size: int = 1 * MB  # -t
+    segments: int = 1  # -s
+    file_per_process: bool = False  # -F
+    collective: bool = False  # -c
+    random_offsets: bool = False  # -z
+    kinds: tuple[str, ...] = ("write", "read")  # -w -r
+    filename: str = "ior.testfile"
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.np <= 0:
+            raise MPIUsageError("NP must be positive")
+        if self.block_size <= 0 or self.transfer_size <= 0 or self.segments <= 0:
+            raise MPIUsageError("block, transfer and segment sizes must be positive")
+        if self.block_size % self.transfer_size:
+            raise MPIUsageError(
+                f"block size {self.block_size} not a multiple of transfer size "
+                f"{self.transfer_size} (IOR requires -b = k * -t)"
+            )
+        for k in self.kinds:
+            if k not in ("write", "read"):
+                raise MPIUsageError(f"unknown test kind {k!r}")
+
+    @property
+    def transfers_per_segment(self) -> int:
+        return self.block_size // self.transfer_size
+
+    @property
+    def total_bytes_per_kind(self) -> int:
+        return self.np * self.segments * self.block_size
+
+    def command_line(self) -> str:
+        """The equivalent real-IOR command (for reports and docs)."""
+        parts = ["ior", "-a", "MPIIO", f"-s {self.segments}",
+                 f"-b {self.block_size}", f"-t {self.transfer_size}"]
+        if self.file_per_process:
+            parts.append("-F")
+        if self.collective:
+            parts.append("-c")
+        if self.random_offsets:
+            parts.append("-z")
+        parts.append("-" + "".join(k[0] for k in self.kinds))
+        return " ".join(parts)
+
+
+@dataclass
+class IORResult:
+    """Bandwidths measured by one IOR run."""
+
+    params: IORParams
+    bw_mb_s: dict[str, float] = field(default_factory=dict)  # per kind
+    times: dict[str, float] = field(default_factory=dict)  # elapsed per kind
+    elapsed: float = 0.0
+
+    def bw(self, kind: str) -> float:
+        return self.bw_mb_s[kind]
+
+
+def ior_program(ctx: RankContext, params: IORParams) -> None:
+    """Rank program of the IOR benchmark."""
+    fh = ctx.file_open(params.filename, unique=params.file_per_process)
+    ntransfers = params.transfers_per_segment
+    order = list(range(ntransfers))
+
+    for kind in params.kinds:
+        ctx.barrier()
+        for seg in range(params.segments):
+            if params.random_offsets:
+                rng = random.Random(params.seed + 7919 * ctx.rank + seg)
+                order = list(range(ntransfers))
+                rng.shuffle(order)
+            if params.file_per_process:
+                seg_base = seg * params.block_size
+            else:
+                seg_base = (seg * ctx.size + ctx.rank) * params.block_size
+            for i in order:
+                offset = seg_base + i * params.transfer_size
+                if kind == "write":
+                    if params.collective:
+                        fh.write_at_all(offset, params.transfer_size)
+                    else:
+                        fh.write_at(offset, params.transfer_size)
+                else:
+                    if params.collective:
+                        fh.read_at_all(offset, params.transfer_size)
+                    else:
+                        fh.read_at(offset, params.transfer_size)
+        ctx.barrier()
+    fh.close()
+
+
+def run_ior(platform: Platform, params: IORParams) -> IORResult:
+    """Execute IOR on a platform and report per-kind mean bandwidth.
+
+    The platform should be freshly built (or ``reset``) so queue state
+    from earlier experiments does not leak into the measurement.
+    """
+    events: list[IOEvent] = []
+    engine = Engine(params.np, platform=platform)
+    engine.add_io_hook(events.append)
+    run = engine.run(ior_program, params)
+
+    result = IORResult(params=params, elapsed=run.elapsed)
+    for kind in params.kinds:
+        evs = [e for e in events if e.kind == kind]
+        if not evs:
+            continue
+        begin = min(e.time for e in evs)
+        end = max(e.time + e.duration for e in evs)
+        nbytes = sum(e.request_size for e in evs)
+        span = max(end - begin, 1e-12)
+        result.times[kind] = span
+        result.bw_mb_s[kind] = nbytes / MB / span
+    return result

@@ -1,0 +1,125 @@
+"""IOzone-style device-level characterization (paper Tables IV/V, eq. 3).
+
+IOzone runs *on* an I/O node, against its local filesystem -- no MPI, no
+network.  The methodology uses it to obtain each I/O node's peak
+bandwidth ``maxBW(ION_i)``: the maximum over access patterns
+(sequential / strided / random) per operation type, with a file at
+least twice the node's RAM so the page cache cannot absorb the run
+(Table II's ``minimum size = 2 * RAMsize`` rule).
+
+``run_iozone`` sweeps the requested patterns and request sizes and
+returns the full grid; ``peak_bw`` reduces it to eq. (3)'s maxima.
+``BW_PK`` for a whole configuration (eq. 4) is the sum over I/O nodes
+for parallel filesystems -- see
+:meth:`repro.iosim.cluster.Cluster.peak_bw` and
+:func:`repro.core.estimate.peak_bandwidth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.iosim.nodes import IONode
+
+MB = 1024 * 1024
+
+#: Access patterns IOzone covers (-i 0/1, -i 0/5, -i 0/2).
+PATTERNS = ("sequential", "strided", "random")
+
+
+@dataclass(frozen=True)
+class IOzoneParams:
+    """One IOzone sweep on a single I/O node."""
+
+    file_size_mb: int | None = None  # default: 2 x node RAM
+    request_sizes_kb: tuple[int, ...] = (64, 256, 1024, 4096)
+    patterns: tuple[str, ...] = PATTERNS
+    stride_factor: int = 4  # -j: stride = factor * request size
+    kinds: tuple[str, ...] = ("write", "read")
+    #: Steady-state truncation: a cell's bandwidth converges after a few
+    #: thousand operations; simulating every request of a 2xRAM file at
+    #: 64 KB granularity would only repeat the steady state.
+    max_ops_per_cell: int = 4096
+
+    def resolved_file_size_mb(self, ion: IONode) -> int:
+        if self.file_size_mb is not None:
+            return self.file_size_mb
+        return int(2 * ion.ram_gb * 1024)
+
+
+@dataclass
+class IOzoneResult:
+    """The measurement grid: (pattern, kind, request_kb) -> MB/s."""
+
+    ion_name: str
+    file_size_mb: int
+    grid: dict[tuple[str, str, int], float] = field(default_factory=dict)
+
+    def bw(self, pattern: str, kind: str, request_kb: int) -> float:
+        return self.grid[(pattern, kind, request_kb)]
+
+    def peak_bw(self, kind: str) -> float:
+        """eq. (3): maxBW(ION) for one operation type."""
+        vals = [v for (p, k, r), v in self.grid.items() if k == kind]
+        if not vals:
+            raise ValueError(f"no measurements for kind {kind!r}")
+        return max(vals)
+
+    def rows(self) -> list[tuple[str, str, int, float]]:
+        return sorted((p, k, r, v) for (p, k, r), v in self.grid.items())
+
+
+def run_iozone(ion: IONode, params: IOzoneParams = IOzoneParams()) -> IOzoneResult:
+    """Sweep the node's local FS with IOzone's patterns.
+
+    Each cell writes/reads ``file_size`` bytes in ``request_size`` chunks
+    laid out per the pattern, in virtual time, and reports mean MB/s.
+    The node is reset before each cell so cells are independent.
+    """
+    fz_mb = params.resolved_file_size_mb(ion)
+    result = IOzoneResult(ion_name=ion.name, file_size_mb=fz_mb)
+    fz = fz_mb * MB
+    # A 2xRAM file runs far past the page cache: cells measure the
+    # media's *sustained* rate.  With cells truncated to max_ops_per_cell
+    # the equivalent is measuring with the write-back cache disabled.
+    saved_cache = ion.fs.cache_mb
+    ion.fs.cache_mb = 0.0
+    try:
+        for pattern in params.patterns:
+            for kind in params.kinds:
+                for rkb in params.request_sizes_kb:
+                    rs = rkb * 1024
+                    nops = max(1, min(fz // rs, params.max_ops_per_cell))
+                    ion.reset()
+                    t = 0.0
+                    for i in range(nops):
+                        off = _offset(pattern, i, rs, nops, params.stride_factor)
+                        t = ion.fs.transfer(t, off, rs, kind)
+                    bw = (nops * rs) / MB / max(t, 1e-12)
+                    result.grid[(pattern, kind, rkb)] = bw
+    finally:
+        ion.fs.cache_mb = saved_cache
+        ion.reset()
+    return result
+
+
+def _offset(pattern: str, i: int, rs: int, nops: int, stride_factor: int) -> int:
+    if pattern == "sequential":
+        return i * rs
+    if pattern == "strided":
+        return i * rs * stride_factor
+    if pattern == "random":
+        # Deterministic pseudo-random permutation: multiplicative hash on
+        # the op index, scaled to the file extent.
+        return ((i * 2654435761) % max(1, nops)) * rs
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+def characterize_peaks(ions: list[IONode],
+                       params: IOzoneParams = IOzoneParams()) -> dict[str, dict[str, float]]:
+    """Run IOzone on every I/O node; returns {ion: {kind: maxBW}} (eq. 3)."""
+    out = {}
+    for ion in ions:
+        res = run_iozone(ion, params)
+        out[ion.name] = {k: res.peak_bw(k) for k in params.kinds}
+    return out

@@ -1,0 +1,219 @@
+"""Command-line interface: ``repro-io``.
+
+Subcommands mirror the methodology's stages::
+
+    repro-io trace     --app madbench2 --np 16 --out traces/mb2
+    repro-io model     --traces traces/mb2 --out mb2.model.json
+    repro-io estimate  --model mb2.model.json --config configuration-A
+    repro-io usage     --app madbench2 --np 16 --config configuration-A
+    repro-io select    --model mb2.model.json --configs configuration-C,finisterrae
+    repro-io replay    --model mb2.model.json --config finisterrae
+    repro-io signatures --model mb2.model.json
+    repro-io configs
+
+Applications: madbench2, btio-A/B/C/D, synthetic, ior, roms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.apps.btio import BTIOParams, btio_program
+from repro.apps.ior import IORParams, ior_program
+from repro.apps.madbench2 import MADbench2Params, madbench2_program
+from repro.apps.roms import ROMSParams, roms_program
+from repro.apps.synthetic import SyntheticParams, synthetic_program
+from repro.clusters import ALL_CONFIGURATIONS
+from repro.core.estimate import select_configuration
+from repro.core.model import IOModel
+from repro.core.pipeline import (
+    characterize_app,
+    characterize_peaks_for,
+    estimate_on,
+    evaluate,
+    measure_on,
+)
+from repro.core.signatures import classify_model
+from repro.core.synthesis import replay_model
+from repro.report.tables import configuration_table, phases_table, usage_table
+from repro.tracer.hooks import TraceBundle
+
+
+def _app_for(name: str, np: int):
+    """Resolve an app name to (program, params)."""
+    if name == "madbench2":
+        return madbench2_program, MADbench2Params()
+    if name.startswith("btio"):
+        cls = name.split("-")[1] if "-" in name else "C"
+        return btio_program, BTIOParams(cls=cls)
+    if name == "synthetic":
+        return synthetic_program, SyntheticParams()
+    if name == "ior":
+        return ior_program, IORParams(np=np)
+    if name == "roms":
+        return roms_program, ROMSParams()
+    raise SystemExit(f"unknown app {name!r} "
+                     "(madbench2, btio-A/B/C/D, synthetic, ior, roms)")
+
+
+def _factory_for(name: str):
+    try:
+        return ALL_CONFIGURATIONS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown configuration {name!r}; choose from "
+            f"{', '.join(ALL_CONFIGURATIONS)}"
+        ) from None
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    program, params = _app_for(args.app, args.np)
+    model, bundle = characterize_app(program, args.np, params, app_name=args.app)
+    out = Path(args.out)
+    bundle.save(out)
+    model.save(out / "model.json")
+    print(f"traced {args.app} on {args.np} procs: {len(bundle.records)} I/O events")
+    print(f"wrote {out}/trace.<rank>, metadata.json, model.json")
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    bundle = TraceBundle.load(args.traces)
+    model = IOModel.from_trace(bundle, app_name=args.name)
+    if args.out:
+        model.save(args.out)
+    print(model.describe())
+    print()
+    print(phases_table(model))
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    model = IOModel.load(args.model)
+    factory = _factory_for(args.config)
+    report = estimate_on(model, factory, config_name=args.config)
+    print(f"I/O time estimation of {model.app_name} on {args.config} (eqs. 1-2):")
+    for p in report.phases:
+        print(f"  phase {p.phase_id}: BW_CH={p.bw_ch_mb_s:.1f} MB/s  "
+              f"Time_io(CH)={p.time_ch:.2f} s")
+    print(f"  total Time_io(CH) = {report.total_time_ch:.2f} s")
+    return 0
+
+
+def cmd_usage(args: argparse.Namespace) -> int:
+    program, params = _app_for(args.app, args.np)
+    factory = _factory_for(args.config)
+    model, _ = characterize_app(program, args.np, params, app_name=args.app)
+    est = estimate_on(model, factory, config_name=args.config)
+    measure, mmodel = measure_on(program, args.np, params,
+                                 cluster_factory=factory, app_name=args.app)
+    peaks = characterize_peaks_for(factory)
+    ev = evaluate(mmodel, est, measure, peaks=peaks)
+    print(usage_table(ev))
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    model = IOModel.load(args.model)
+    factories = {name: _factory_for(name) for name in args.configs.split(",")}
+    choice = select_configuration(model.phases, factories)
+    print(f"estimated total I/O time of {model.app_name} (eq. 1):")
+    for name, t in choice.ranking():
+        marker = "  <- selected" if name == choice.best else ""
+        print(f"  {name}: {t:.2f} s{marker}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    model = IOModel.load(args.model)
+    factory = _factory_for(args.config)
+    replayed, bundle = replay_model(model, platform=factory())
+    print(f"replayed {model.app_name} (synthesized, np={model.np}) "
+          f"on {args.config}: {len(bundle.records)} I/O events")
+    for ph in replayed.phases:
+        bw = ph.weight / (1024 * 1024) / max(ph.duration, 1e-12)
+        print(f"  phase {ph.phase_id}: {ph.np} {ph.op_label} rep={ph.rep} "
+              f"-> {ph.duration:.3f} s ({bw:.1f} MB/s)")
+    total = sum(ph.duration for ph in replayed.phases)
+    print(f"  total replayed I/O time = {total:.2f} s")
+    return 0
+
+
+def cmd_signatures(args: argparse.Namespace) -> int:
+    model = IOModel.load(args.model)
+    sigs = classify_model(model)
+    print(f"I/O signatures of {model.app_name} (Byna-style taxonomy):")
+    for ph in model.phases:
+        sig = sigs[ph.phase_id]
+        print(f"  phase {ph.phase_id}: {sig.spatial}, {sig.request_class} "
+              f"requests, {sig.repetition}, {sig.parallelism}, "
+              f"{sig.sharing} file")
+    return 0
+
+
+def cmd_configs(args: argparse.Namespace) -> int:
+    descs = [f().description for f in ALL_CONFIGURATIONS.values()]
+    print(configuration_table(descs, title="Available I/O configurations "
+                                            "(paper Tables VI/VII)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-io",
+        description="I/O-phase modeling methodology (Mendez et al., CLUSTER 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("trace", help="trace an application, extract its model")
+    p.add_argument("--app", required=True)
+    p.add_argument("--np", type=int, default=16)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("model", help="rebuild/print a model from saved traces")
+    p.add_argument("--traces", required=True)
+    p.add_argument("--name", default="app")
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_model)
+
+    p = sub.add_parser("estimate", help="estimate I/O time on a configuration")
+    p.add_argument("--model", required=True)
+    p.add_argument("--config", required=True)
+    p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("usage", help="system-usage study (Tables IX/X)")
+    p.add_argument("--app", required=True)
+    p.add_argument("--np", type=int, default=16)
+    p.add_argument("--config", required=True)
+    p.set_defaults(func=cmd_usage)
+
+    p = sub.add_parser("select", help="choose the configuration with least I/O time")
+    p.add_argument("--model", required=True)
+    p.add_argument("--configs", required=True,
+                   help="comma-separated configuration names")
+    p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser("replay", help="synthesize and measure a model's replay")
+    p.add_argument("--model", required=True)
+    p.add_argument("--config", required=True)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("signatures", help="classify a model's access patterns")
+    p.add_argument("--model", required=True)
+    p.set_defaults(func=cmd_signatures)
+
+    p = sub.add_parser("configs", help="list the modeled I/O configurations")
+    p.set_defaults(func=cmd_configs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The paper's four I/O configurations (Tables VI/VII).
+
+Factories return *fresh* clusters (no shared queue state), so they plug
+directly into the estimators' ``cluster_factory`` arguments.
+"""
+
+from .aohyper import configuration_a, configuration_b
+from .confc import configuration_c
+from .finisterrae import finisterrae
+
+#: Name -> factory, for selection studies and the CLI.
+ALL_CONFIGURATIONS = {
+    "configuration-A": configuration_a,
+    "configuration-B": configuration_b,
+    "configuration-C": configuration_c,
+    "finisterrae": finisterrae,
+}
+
+__all__ = [
+    "ALL_CONFIGURATIONS",
+    "configuration_a",
+    "configuration_b",
+    "configuration_c",
+    "finisterrae",
+]

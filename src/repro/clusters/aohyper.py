@@ -1,0 +1,121 @@
+"""The Aohyper cluster's two I/O configurations (paper Table VI).
+
+Aohyper: 8 compute nodes (AMD Athlon64 X2, 2 GB RAM, 1 GbE).
+
+* **Configuration A**: NFS v3 over one NAS server; local ext4 on RAID 5
+  (5 disks, 256 KB stripe, 917 GB); 1 GbE communication and storage
+  network.  Device peak (Table IX): ~400 MB/s write / ~350 MB/s read;
+  through NFS the application sees ~60-95 MB/s (one GbE link).
+* **Configuration B**: PVFS2 2.8.2 over 3 NASD I/O nodes (Pentium 4,
+  1 GB RAM, one 80 GB disk each, JBOD, ext3).  Device peak per eq. (4):
+  the sum of the three disks' maxima (~240 MB/s); PVFS2's per-stripe
+  processing on the P4 servers and the interleaving of 16 clients'
+  stripes keep the measured bandwidth near 30 % of that -- with the
+  disks busy ~100 % of the phase time (Fig. 8's story).
+
+Disk/FS parameters are calibrated so the *shape* of Tables IX/X holds;
+see DESIGN.md for the calibration notes.
+"""
+
+from __future__ import annotations
+
+from repro.iosim import (
+    EXT3,
+    EXT4,
+    GIGABIT_ETHERNET,
+    JBOD,
+    NFS,
+    PVFS2,
+    RAID5,
+    Cluster,
+    ClusterDescription,
+    ComputeNode,
+    Disk,
+    DiskSpec,
+    IONode,
+    LinkSpec,
+    LocalFS,
+)
+
+N_COMPUTE_NODES = 8
+
+#: SATA disks of the NAS server's RAID 5 (conf A): calibrated so the
+#: 4-data-disk array peaks near the paper's 400 (write) / 350 (read) MB/s.
+CONF_A_DISK = DiskSpec(seq_write_bw=105.0, seq_read_bw=87.5, capacity_gb=229.25)
+
+#: The P4 I/O nodes' 80 GB disks (conf B): ~80 MB/s streaming.
+CONF_B_DISK = DiskSpec(seq_write_bw=80.0, seq_read_bw=85.0, capacity_gb=80.0)
+
+#: Effective NIC rate of the Pentium-4 PVFS2 servers (TCP on a P4 tops
+#: out well below wire speed).
+CONF_B_ION_LINK = LinkSpec(bw_mb_s=70.0, latency_s=80e-6, name="1GbE-P4",
+                           load_amplitude=0.07, load_period_s=263.0)
+
+#: Effective rate of the NAS head serving NFS (conf A): userspace nfsd +
+#: TCP on the Athlon head stays below the 1 GbE wire rate.
+CONF_A_NAS_LINK = LinkSpec(bw_mb_s=96.0, latency_s=70e-6, name="1GbE-NAS",
+                           load_amplitude=0.06, load_period_s=311.0)
+
+
+def _compute_nodes() -> list[ComputeNode]:
+    return [ComputeNode.make(f"aohyper{i}", GIGABIT_ETHERNET, ram_gb=2.0, cores=2)
+            for i in range(N_COMPUTE_NODES)]
+
+
+def configuration_a() -> Cluster:
+    """Aohyper configuration A: NFS + RAID 5 (Table VI, left column)."""
+    disks = [Disk(f"sd{chr(ord('a') + i)}", CONF_A_DISK) for i in range(5)]
+    volume = RAID5("raid5", disks, stripe_kb=256)
+    fs = LocalFS("/raid/raid5", volume, EXT4, cache_mb=700.0)
+    server = IONode.make("nas0", fs, CONF_A_NAS_LINK, ram_gb=1.0)
+    globalfs = NFS(server, read_chunk_kb=128, read_rpc_ms=0.35)
+    return Cluster(
+        name="configuration-A",
+        compute_nodes=_compute_nodes(),
+        globalfs=globalfs,
+        compute_net=GIGABIT_ETHERNET,
+        description=ClusterDescription(
+            name="Configuration A",
+            io_library="mpich2",
+            comm_network="1 Gb Ethernet",
+            storage_network="1 Gb Ethernet",
+            global_filesystem="NFS Ver 3",
+            io_nodes="8 DAS and 1 NAS",
+            local_filesystem="Linux ext4",
+            redundancy="RAID 5, Stripe 256KB",
+            n_devices=5,
+            device_capacity="917GB",
+            mount_point="/raid/raid5",
+        ),
+    )
+
+
+def configuration_b() -> Cluster:
+    """Aohyper configuration B: PVFS2 + JBOD (Table VI, right column)."""
+    ions = []
+    for i in range(3):
+        disk = Disk(f"pvfs-d{i}", CONF_B_DISK)
+        volume = JBOD(f"jbod{i}", [disk])
+        fs = LocalFS(f"/mnt/pvfs2-{i}", volume, EXT3, cache_mb=180.0)
+        ions.append(IONode.make(f"nasd{i}", fs, CONF_B_ION_LINK, ram_gb=1.0))
+    globalfs = PVFS2(ions, stripe_kb=64, per_stripe_overhead_ms=0.5,
+                     interleave_seek_factor=0.13)
+    return Cluster(
+        name="configuration-B",
+        compute_nodes=_compute_nodes(),
+        globalfs=globalfs,
+        compute_net=GIGABIT_ETHERNET,
+        description=ClusterDescription(
+            name="Configuration B",
+            io_library="mpich2, HDF5",
+            comm_network="1 Gb Ethernet",
+            storage_network="1 Gb Ethernet",
+            global_filesystem="PVFS2 2.8.2",
+            io_nodes="8 DAS and 3 NASD",
+            local_filesystem="Linux ext3",
+            redundancy="JBOD",
+            n_devices=3,
+            device_capacity="130GB",
+            mount_point="/mnt/pvfs2",
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Configuration C (paper Table VII, left column).
+
+32 IBM x3550 nodes (2x dual-core Xeon 5160, 12 GB RAM, dual GbE) with
+NFS v3 over one NAS server exporting /home from an ext4 filesystem on a
+RAID 5 of 5 hot-swap SAS disks (1.8 TB), OpenMPI.
+
+Calibration target (Tables XII/XIII, BT-IO class D): collective writes
+sustain ~110-120 MB/s (the GbE ceiling, async export), while the
+synchronous read RPCs hold reads near ~45-50 MB/s -- the paper's
+phase-51 time being ~2.5x the write phases' total.
+"""
+
+from __future__ import annotations
+
+from repro.iosim import (
+    EXT4,
+    GIGABIT_ETHERNET,
+    NFS,
+    RAID5,
+    Cluster,
+    ClusterDescription,
+    ComputeNode,
+    Disk,
+    DiskSpec,
+    IONode,
+    LinkSpec,
+    LocalFS,
+)
+
+N_COMPUTE_NODES = 32
+
+#: SAS disks of the /home RAID 5.
+CONF_C_DISK = DiskSpec(seq_write_bw=110.0, seq_read_bw=95.0, seek_ms=5.5,
+                       rotational_ms=3.0, capacity_gb=450.0)
+
+
+def configuration_c() -> Cluster:
+    """Configuration C: NFS over a SAS RAID 5, 32 x3550 nodes (Table VII)."""
+    disks = [Disk(f"sas{i}", CONF_C_DISK) for i in range(5)]
+    volume = RAID5("home-raid5", disks, stripe_kb=256)
+    fs = LocalFS("/home", volume, EXT4, cache_mb=2048.0)
+    server_link = LinkSpec(bw_mb_s=112.0, latency_s=60e-6, name="1GbE-home",
+                           load_amplitude=0.05, load_period_s=1700.0)
+    server = IONode.make("nfs-home", fs, server_link, ram_gb=4.0)
+    globalfs = NFS(server, read_chunk_kb=64, read_rpc_ms=0.75)
+    nodes = [ComputeNode.make(f"x3550-{i}", GIGABIT_ETHERNET, ram_gb=12.0, cores=4)
+             for i in range(N_COMPUTE_NODES)]
+    return Cluster(
+        name="configuration-C",
+        compute_nodes=nodes,
+        globalfs=globalfs,
+        compute_net=GIGABIT_ETHERNET,
+        description=ClusterDescription(
+            name="Configuration C",
+            io_library="OpenMPI",
+            comm_network="1 Gbps Ethernet",
+            storage_network="1 Gbps Ethernet",
+            global_filesystem="NFS Ver 3",
+            io_nodes="8 DAS and 1 NAS",
+            local_filesystem="Linux ext4",
+            redundancy="RAID 5",
+            n_devices=5,
+            device_capacity="1.8 TB hot-swap SAS",
+            mount_point="/home",
+        ),
+    )

@@ -1,0 +1,210 @@
+"""Local Access Pattern (LAP) extraction -- paper section III-A.1, Fig. 3.
+
+A LAP compresses one process's trace into repetitive units.  Extraction
+runs in three steps per (rank, file):
+
+1. **Burst splitting.**  Consecutive I/O records whose tick delta is
+   <= ``gap`` (default 1: strictly adjacent MPI events) belong to one
+   *burst*.  A tick gap means other MPI events (communication) happened
+   in between -- that is the paper's cue that a new phase begins (the
+   Fig. 5 example: writes separated by ~121 communication ticks are
+   distinct phases; the 40 back-to-back reads are one).
+
+2. **Tandem-repeat compression.**  Within a burst, find maximal runs of
+   a repeating *unit* of 1..3 operations.  A unit member matches across
+   repetitions when op name and request size agree and its offset
+   advances by a constant displacement ``disp``.  This is what
+   decomposes MADbench2's W function (R R W R W R ... W W) into the
+   paper's Table VIII rows: reads(rep 2), write-read(rep 6), writes(rep 2).
+
+3. Each compressed group becomes a :class:`LAPEntry` (the Fig. 3 rows):
+   idP, idF, op(s), rep, request size, disp, initial offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.tracer.tracefile import TraceRecord
+
+#: Maximum repeating-unit length the tandem detector searches for.
+MAX_UNIT = 3
+
+
+@dataclass(frozen=True)
+class LAPOp:
+    """One operation of a (possibly multi-op) repeating unit."""
+
+    op: str  # MPI routine name
+    kind: str  # "write" | "read"
+    request_size: int  # bytes (rs)
+    disp: int  # offset displacement between repetitions (etype units)
+    init_offset: int  # view-relative initial offset (etype units)
+    init_abs_offset: int  # absolute initial byte offset
+
+
+@dataclass(frozen=True)
+class LAPEntry:
+    """One row group of the LAP file (Fig. 3) for a single process."""
+
+    rank: int
+    file_id: int
+    rep: int
+    ops: tuple[LAPOp, ...]
+    first_tick: int
+    last_tick: int
+    first_time: float
+    total_duration: float
+
+    @property
+    def signature(self) -> tuple:
+        """What must match across processes for LAPs to be 'similar'
+        (everything except the initial offsets -- Table I's simLAP)."""
+        return (
+            self.file_id,
+            self.rep,
+            tuple((o.op, o.request_size, o.disp) for o in self.ops),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes this process moves in the entry: rep * sum of unit sizes."""
+        return self.rep * sum(o.request_size for o in self.ops)
+
+    def to_lines(self) -> list[str]:
+        """Fig. 3-style text rows: IdP IdF Op Rep RequestSize Disp OffsetInit."""
+        return [
+            f"{self.rank} {self.file_id} {o.op} {self.rep} "
+            f"{o.request_size} {o.disp} {o.init_offset}"
+            for o in self.ops
+        ]
+
+
+def split_bursts(records: Sequence[TraceRecord], gap: int = 1) -> list[list[TraceRecord]]:
+    """Split one rank's (single-file) records into tick-adjacent bursts."""
+    bursts: list[list[TraceRecord]] = []
+    for rec in records:
+        if bursts and rec.tick - bursts[-1][-1].tick <= gap:
+            bursts[-1].append(rec)
+        else:
+            bursts.append([rec])
+    return bursts
+
+
+def _unit_matches(records: Sequence[TraceRecord], start: int, unit: int) -> int:
+    """Number of consecutive repetitions of the unit beginning at ``start``.
+
+    Repetition k matches when, for every unit member j, the record at
+    ``start + k*unit + j`` has the same op and request size as the
+    member's first occurrence and its offset advances linearly
+    (constant per-member displacement established by the first two
+    repetitions).
+    """
+    n = len(records)
+    if start + unit > n:
+        return 0
+    base = records[start:start + unit]
+    reps = 1
+    disp: list[int | None] = [None] * unit
+    while True:
+        lo = start + reps * unit
+        if lo + unit > n:
+            break
+        ok = True
+        for j in range(unit):
+            a, b = base[j], records[lo + j]
+            if a.op != b.op or a.request_size != b.request_size:
+                ok = False
+                break
+            prev = records[lo + j - unit]
+            step = b.offset - prev.offset
+            if disp[j] is None:
+                disp[j] = step
+            elif disp[j] != step:
+                ok = False
+                break
+        if not ok:
+            break
+        reps += 1
+    return reps
+
+
+def compress_burst(records: Sequence[TraceRecord]) -> list[LAPEntry]:
+    """Tandem-repeat compression of one burst into LAP entries.
+
+    Greedy scan: at each position try unit lengths 1..MAX_UNIT, pick the
+    one covering the most records, emit an entry, continue after it.
+    Multi-operation units must repeat at least three times -- any two
+    pairs of records form a trivially "consistent" 2-unit pattern, so two
+    repetitions carry no evidence of periodicity.
+    """
+    entries: list[LAPEntry] = []
+    i = 0
+    n = len(records)
+    while i < n:
+        best_unit, best_reps = 1, _unit_matches(records, i, 1)
+        for unit in range(2, MAX_UNIT + 1):
+            reps = _unit_matches(records, i, unit)
+            if reps >= 3 and reps * unit > best_reps * best_unit:
+                best_unit, best_reps = unit, reps
+        chunk = records[i:i + best_unit * best_reps]
+        entries.append(_make_entry(chunk, best_unit, best_reps))
+        i += best_unit * best_reps
+    return entries
+
+
+def _make_entry(chunk: Sequence[TraceRecord], unit: int, reps: int) -> LAPEntry:
+    ops = []
+    for j in range(unit):
+        first = chunk[j]
+        if reps > 1:
+            disp = chunk[unit + j].offset - chunk[j].offset
+        else:
+            disp = 0
+        ops.append(LAPOp(
+            op=first.op,
+            kind=first.kind,
+            request_size=first.request_size,
+            disp=disp,
+            init_offset=first.offset,
+            init_abs_offset=first.abs_offset,
+        ))
+    return LAPEntry(
+        rank=chunk[0].rank,
+        file_id=chunk[0].file_id,
+        rep=reps,
+        ops=tuple(ops),
+        first_tick=chunk[0].tick,
+        last_tick=chunk[-1].tick,
+        first_time=chunk[0].time,
+        total_duration=sum(r.duration for r in chunk),
+    )
+
+
+def extract_laps(records: Sequence[TraceRecord], gap: int = 1) -> list[LAPEntry]:
+    """Full LAP extraction for an entire trace (all ranks, all files).
+
+    Records are grouped by (rank, file) preserving order, burst-split by
+    tick adjacency, and tandem-compressed.  Entries come back ordered by
+    (rank, file, first_tick).
+    """
+    by_rank_file: dict[tuple[int, int], list[TraceRecord]] = {}
+    for rec in records:
+        by_rank_file.setdefault((rec.rank, rec.file_id), []).append(rec)
+    entries: list[LAPEntry] = []
+    for key in sorted(by_rank_file):
+        for burst in split_bursts(by_rank_file[key], gap=gap):
+            entries.extend(compress_burst(burst))
+    entries.sort(key=lambda e: (e.rank, e.file_id, e.first_tick))
+    return entries
+
+
+def expand_entry(entry: LAPEntry) -> list[tuple[str, int, int]]:
+    """Inverse of compression: the (op, offset, request_size) sequence
+    the entry stands for.  Used by the round-trip property tests."""
+    out = []
+    for k in range(entry.rep):
+        for o in entry.ops:
+            out.append((o.op, o.init_offset + k * o.disp, o.request_size))
+    return out

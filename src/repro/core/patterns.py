@@ -1,0 +1,135 @@
+"""Spatial and temporal global access patterns (paper Figs. 5/6/7/9/10).
+
+The paper visualizes the I/O abstract model as a 3-D global access
+pattern: each traced operation is a point (tick, process, file offset)
+with its request size, colored by phase.  This module produces those
+series from a trace + model so the benches and examples can regenerate
+the figures as CSV/ASCII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tracer.tracefile import TraceRecord
+
+from .model import IOModel
+from .phases import Phase
+
+
+@dataclass(frozen=True)
+class PatternPoint:
+    """One point of the 3-D global access pattern."""
+
+    tick: int
+    rank: int
+    offset: int  # absolute byte offset
+    request_size: int
+    kind: str
+    phase_id: int | None  # None if the record matched no phase
+
+
+def _phase_of(rec: TraceRecord, phases: Sequence[Phase], tick_tol: int) -> int | None:
+    """The matching phase whose representative tick is nearest the record's.
+
+    A phase spans ``rep * len(ops)`` ticks from its first tick; among the
+    phases whose window (padded by ``tick_tol``) contains the record and
+    whose operation set matches, the closest one wins -- adjacent phases
+    with identical signatures (BT-IO's writes) stay distinct.
+    """
+    best: tuple[float, int] | None = None
+    for ph in phases:
+        if rec.rank not in ph.ranks:
+            continue
+        ops_match = any(o.op == rec.op and o.request_size == rec.request_size
+                        for o in ph.ops)
+        if not ops_match:
+            continue
+        span = ph.rep * len(ph.ops)
+        if ph.tick - tick_tol <= rec.tick <= ph.tick + span + tick_tol:
+            distance = abs(rec.tick - ph.tick)
+            if best is None or distance < best[0]:
+                best = (distance, ph.phase_id)
+    return best[1] if best else None
+
+
+def global_access_pattern(records: Sequence[TraceRecord], model: IOModel | None = None,
+                          tick_tol: int | None = None) -> list[PatternPoint]:
+    """The (tick, process, offset) cloud of Figs. 5/7/9/10."""
+    phases = model.phases if model else []
+    tol = tick_tol if tick_tol is not None else (model.tick_tol if model else 16)
+    points = []
+    for rec in sorted(records, key=lambda r: (r.tick, r.rank)):
+        points.append(PatternPoint(
+            tick=rec.tick,
+            rank=rec.rank,
+            offset=rec.abs_offset,
+            request_size=rec.request_size,
+            kind=rec.kind,
+            phase_id=_phase_of(rec, phases, tol) if phases else None,
+        ))
+    return points
+
+
+def spatial_pattern(model: IOModel) -> list[dict]:
+    """Per-phase spatial rows: f(initOffset), displacement, request size."""
+    rows = []
+    for ph in model.phases:
+        for op in ph.ops:
+            rows.append({
+                "phase": ph.phase_id,
+                "op": op.op,
+                "request_size": op.request_size,
+                "disp": op.disp,
+                "init_offset": op.abs_offset_fn.expression(rs=op.request_size),
+                "np": ph.np,
+            })
+    return rows
+
+
+def temporal_pattern(model: IOModel) -> list[dict]:
+    """Per-phase temporal rows: tick order and repetition counts."""
+    return [
+        {"phase": ph.phase_id, "tick": ph.tick, "rep": ph.rep,
+         "ops": [o.op for o in ph.ops], "np": ph.np}
+        for ph in model.phases
+    ]
+
+
+def to_csv(points: Sequence[PatternPoint]) -> str:
+    """CSV export of the global access pattern (for external plotting)."""
+    lines = ["tick,rank,offset,request_size,kind,phase"]
+    for p in points:
+        lines.append(f"{p.tick},{p.rank},{p.offset},{p.request_size},"
+                     f"{p.kind},{p.phase_id if p.phase_id is not None else ''}")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_plot(points: Sequence[PatternPoint], width: int = 72,
+               height: int = 20) -> str:
+    """Terminal rendering of offset-vs-tick (W = writes, R = reads).
+
+    A coarse stand-in for the paper's 3-D plots: the x axis is the tick,
+    the y axis the absolute file offset; each traced operation leaves a
+    W/R mark.
+    """
+    if not points:
+        return "(no I/O)"
+    tmin = min(p.tick for p in points)
+    tmax = max(p.tick for p in points)
+    omax = max(p.offset + p.request_size for p in points)
+    grid = [[" "] * width for _ in range(height)]
+    for p in points:
+        x = int((p.tick - tmin) / max(1, tmax - tmin) * (width - 1))
+        y = int(p.offset / max(1, omax) * (height - 1))
+        row = height - 1 - y
+        mark = "W" if p.kind == "write" else "R"
+        if grid[row][x] not in (" ", mark):
+            grid[row][x] = "*"  # both kinds hit this cell
+        else:
+            grid[row][x] = mark
+    lines = ["offset"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width + "> tick")
+    return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""I/O phase identification -- paper section III-A.1, Fig. 4.
+
+An I/O phase is "a repetitive sequence of the same pattern on a file for
+a number of processes": LAP entries of different ranks that are
+*similar* (same op unit, repetition count, request size, displacement --
+everything but the initial offset) and happen at similar logical times
+(ticks).  Each phase gets:
+
+* ``weight = sum over member ranks of rep x rs`` (= np * rep * rs for
+  the usual all-ranks phase -- Table VIII's 4 GB for 16 x 8 x 32 MB);
+* an inferred ``f(initOffset)`` per unit operation, in both
+  view-relative and absolute units (Table VIII / Table XI formulas).
+
+Unique access type (one file per process, IOR's ``-F``) is handled by
+grouping per-rank files through their base name, so a phase can span
+files ``out.0 .. out.N-1``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Mapping, Sequence
+
+from .lap import LAPEntry, LAPOp
+from .offsetfn import OffsetFunction, fit_offsets
+
+#: Default tick tolerance when matching LAPs across ranks.  Ranks of an
+#: SPMD program drift by a few events (Fig. 2: ticks 148 vs 147).
+DEFAULT_TICK_TOL = 16
+
+
+@dataclass(frozen=True)
+class PhaseOp:
+    """One operation of a phase's repeating unit, aggregated across ranks."""
+
+    op: str
+    kind: str  # "write" | "read"
+    request_size: int
+    disp: int
+    offset_fn: OffsetFunction  # view-relative initial offset vs idP
+    abs_offset_fn: OffsetFunction  # absolute initial byte offset vs idP
+
+    @property
+    def collective(self) -> bool:
+        return self.op.endswith("_all")
+
+
+@dataclass
+class Phase:
+    """One I/O phase of the application's I/O abstract model."""
+
+    phase_id: int
+    file_group: str
+    rep: int
+    ops: tuple[PhaseOp, ...]
+    ranks: tuple[int, ...]
+    tick: float  # representative (median) first tick
+    first_time: float
+    duration: float  # max over ranks of summed op durations (measured)
+    unique_file: bool = False
+    file_ids: tuple[int, ...] = ()
+
+    @property
+    def np(self) -> int:
+        """Number of processes participating in the phase."""
+        return len(self.ranks)
+
+    @property
+    def weight(self) -> int:
+        """Phase weight in bytes: np * rep * sum of unit request sizes."""
+        return self.np * self.rep * sum(o.request_size for o in self.ops)
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted({o.kind for o in self.ops}))
+
+    @property
+    def op_label(self) -> str:
+        """Paper-style operation label: W, R or W-R (Tables IX/X)."""
+        kinds = set(self.kinds)
+        if kinds == {"write"}:
+            return "W"
+        if kinds == {"read"}:
+            return "R"
+        return "W-R"
+
+    @property
+    def n_operations(self) -> int:
+        """Total I/O operations in the phase (e.g. 128 W for Table IX)."""
+        return self.np * self.rep * len(self.ops)
+
+    @property
+    def collective(self) -> bool:
+        return any(o.collective for o in self.ops)
+
+    @property
+    def request_size(self) -> int:
+        """Request size of the (first op of the) unit -- the model's rs."""
+        return self.ops[0].request_size
+
+
+_UNIQUE_SUFFIX = re.compile(r"\.(\d+)$")
+
+
+def file_groups_from_metadata(metadata) -> dict[int, tuple[str, bool]]:
+    """Map file_id -> (group key, unique?) from tracer metadata.
+
+    Per-process files named ``base.<rank>`` with access type "unique"
+    collapse onto the group ``base``.
+    """
+    groups: dict[int, tuple[str, bool]] = {}
+    for f in metadata.files:
+        if f.access_type == "unique":
+            base = _UNIQUE_SUFFIX.sub("", f.filename)
+            groups[f.file_id] = (base, True)
+        else:
+            groups[f.file_id] = (f.filename, False)
+    return groups
+
+
+def identify_phases(
+    entries: Sequence[LAPEntry],
+    file_groups: Mapping[int, tuple[str, bool]] | None = None,
+    tick_tol: int = DEFAULT_TICK_TOL,
+) -> list[Phase]:
+    """Group similar, tick-close LAP entries of different ranks into phases.
+
+    Entries are bucketed by similarity signature (with the file id
+    replaced by its file group), then greedily clustered along the tick
+    axis: a cluster absorbs at most one entry per rank, within
+    ``tick_tol`` of the cluster seed's first tick.  Clusters become
+    phases ordered by virtual start time.
+    """
+    def groupinfo(file_id: int) -> tuple[str, bool]:
+        if file_groups and file_id in file_groups:
+            return file_groups[file_id]
+        return (f"file{file_id}", False)
+
+    buckets: dict[tuple, list[LAPEntry]] = {}
+    for e in entries:
+        group, _unique = groupinfo(e.file_id)
+        sig = (group, e.rep, tuple((o.op, o.request_size, o.disp) for o in e.ops))
+        buckets.setdefault(sig, []).append(e)
+
+    clusters: list[tuple[tuple, list[LAPEntry]]] = []
+    for sig, bucket in buckets.items():
+        bucket = sorted(bucket, key=lambda e: (e.first_tick, e.rank))
+        used = [False] * len(bucket)
+        for i, seed in enumerate(bucket):
+            if used[i]:
+                continue
+            members = [seed]
+            used[i] = True
+            seen_ranks = {seed.rank}
+            for j in range(i + 1, len(bucket)):
+                cand = bucket[j]
+                if used[j] or cand.rank in seen_ranks:
+                    continue
+                if cand.first_tick - seed.first_tick > tick_tol:
+                    break
+                members.append(cand)
+                used[j] = True
+                seen_ranks.add(cand.rank)
+            clusters.append((sig, members))
+
+    clusters.sort(key=lambda c: (min(m.first_time for m in c[1]),
+                                 median(m.first_tick for m in c[1])))
+    phases = []
+    for idx, (sig, members) in enumerate(clusters, start=1):
+        phases.append(_make_phase(idx, sig, members, groupinfo))
+    return phases
+
+
+def _make_phase(phase_id: int, sig: tuple, members: list[LAPEntry],
+                groupinfo) -> Phase:
+    members = sorted(members, key=lambda e: e.rank)
+    group, unique = groupinfo(members[0].file_id)
+    nops = len(members[0].ops)
+    phase_ops = []
+    for j in range(nops):
+        view_pairs = {e.rank: e.ops[j].init_offset for e in members}
+        abs_pairs = {e.rank: e.ops[j].init_abs_offset for e in members}
+        proto: LAPOp = members[0].ops[j]
+        phase_ops.append(PhaseOp(
+            op=proto.op,
+            kind=proto.kind,
+            request_size=proto.request_size,
+            disp=proto.disp,
+            offset_fn=fit_offsets(view_pairs),
+            abs_offset_fn=fit_offsets(abs_pairs),
+        ))
+    return Phase(
+        phase_id=phase_id,
+        file_group=group,
+        rep=members[0].rep,
+        ops=tuple(phase_ops),
+        ranks=tuple(e.rank for e in members),
+        tick=median(e.first_tick for e in members),
+        first_time=min(e.first_time for e in members),
+        duration=max(e.total_duration for e in members),
+        unique_file=unique,
+        file_ids=tuple(sorted({e.file_id for e in members})),
+    )
+
+
+def merge_adjacent_phases(phases: Sequence[Phase], max_phases: int | None = None) -> list[Phase]:
+    """Optionally coarsen a model by merging equal-signature adjacent phases.
+
+    BT-IO's phases 1-40 are reported as one row ("Phase 1-40") in Table
+    XI; this helper produces that aggregate view: consecutive phases
+    with identical ops/rep/np collapse, their weights summing via an
+    increased repetition count.
+    """
+    out: list[Phase] = []
+    for ph in phases:
+        if out:
+            prev = out[-1]
+            same = (
+                prev.file_group == ph.file_group
+                and prev.ranks == ph.ranks
+                and len(prev.ops) == len(ph.ops)
+                and all(a.op == b.op and a.request_size == b.request_size
+                        for a, b in zip(prev.ops, ph.ops))
+            )
+            if same and (max_phases is None or len(out) <= max_phases):
+                merged = Phase(
+                    phase_id=prev.phase_id,
+                    file_group=prev.file_group,
+                    rep=prev.rep + ph.rep,
+                    ops=prev.ops,
+                    ranks=prev.ranks,
+                    tick=prev.tick,
+                    first_time=prev.first_time,
+                    duration=prev.duration + ph.duration,
+                    unique_file=prev.unique_file,
+                    file_ids=prev.file_ids,
+                )
+                out[-1] = merged
+                continue
+        out.append(ph)
+    for i, ph in enumerate(out, start=1):
+        ph.phase_id = i
+    return out

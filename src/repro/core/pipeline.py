@@ -1,0 +1,200 @@
+"""End-to-end methodology pipeline (paper section III).
+
+Glues the three stages together:
+
+1. ``characterize_app`` -- run the application once with the tracer on a
+   neutral platform; extract the system-independent I/O abstract model.
+2. ``estimate_on`` -- replay the model's phases with IOR on a target
+   configuration: per-phase BW_CH and Time_io(CH) (eqs. 1-2).
+3. ``measure_on`` -- actually run the application on the target and
+   extract per-phase BW_MD / Time_io(MD) (validation only; the whole
+   point of the methodology is that step 3 is *not needed* to choose a
+   configuration).
+4. ``evaluate`` -- join the two into the paper's evaluation rows:
+   system usage (eq. 5) and estimation errors (eqs. 6-7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.simmpi.engine import IdealPlatform
+from repro.tracer.hooks import TraceBundle, trace_run
+
+from .estimate import (
+    ClusterFactory,
+    EstimateReport,
+    MeasureReport,
+    estimate_model,
+    measure_phases,
+    peak_bandwidth,
+    relative_error,
+    system_usage,
+)
+from .model import IOModel
+
+MB = 1024 * 1024
+
+
+def characterize_app(program: Callable, nprocs: int, *args,
+                     app_name: str = "app", tick_tol: int = 16,
+                     platform=None) -> tuple[IOModel, TraceBundle]:
+    """Stage 1: trace the application off-line and extract its I/O model.
+
+    The platform defaults to :class:`IdealPlatform` -- the model must not
+    depend on any particular I/O subsystem (its phases, weights and
+    offset functions are identical whatever platform is used; only the
+    measured durations differ).
+    """
+    bundle = trace_run(program, nprocs, platform or IdealPlatform(), *args)
+    model = IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol)
+    return model, bundle
+
+
+def estimate_on(model: IOModel, cluster_factory: ClusterFactory,
+                config_name: str = "config") -> EstimateReport:
+    """Stage 2: IOR replication of each phase on the target (eqs. 1-2)."""
+    return estimate_model(model.phases, cluster_factory, config_name=config_name)
+
+
+def measure_on(program: Callable, nprocs: int, *args,
+               cluster_factory: ClusterFactory, app_name: str = "app",
+               tick_tol: int = 16) -> tuple[MeasureReport, IOModel]:
+    """Stage 3 (validation): run the app on the target and measure phases."""
+    cluster = cluster_factory()
+    bundle = trace_run(program, nprocs, cluster, *args)
+    model = IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol)
+    return measure_phases(model.phases, config_name=app_name), model
+
+
+@dataclass
+class EvaluationRow:
+    """One phase's joined evaluation (Tables IX/X/XIII/XIV columns)."""
+
+    phase_id: int
+    op_label: str
+    n_operations: int
+    weight: int
+    bw_ch_mb_s: float
+    bw_md_mb_s: float
+    time_ch: float
+    time_md: float
+    bw_pk_mb_s: float | None = None
+
+    @property
+    def usage_pct(self) -> float:
+        """eq. (5); requires bw_pk."""
+        if self.bw_pk_mb_s is None:
+            raise ValueError("no BW_PK available for this row")
+        return system_usage(self.bw_md_mb_s, self.bw_pk_mb_s)
+
+    @property
+    def error_rel_pct(self) -> float:
+        """eq. (6) on bandwidths."""
+        return relative_error(self.bw_ch_mb_s, self.bw_md_mb_s)
+
+    @property
+    def time_error_rel_pct(self) -> float:
+        """Relative error expressed on times (Tables XIII/XIV)."""
+        return 100.0 * abs(self.time_ch - self.time_md) / max(self.time_md, 1e-12)
+
+
+@dataclass
+class Evaluation:
+    """Full joined evaluation of one app model on one configuration."""
+
+    config_name: str
+    rows: list[EvaluationRow] = field(default_factory=list)
+
+    @property
+    def total_time_ch(self) -> float:
+        return sum(r.time_ch for r in self.rows)
+
+    @property
+    def total_time_md(self) -> float:
+        return sum(r.time_md for r in self.rows)
+
+    @property
+    def total_time_error_pct(self) -> float:
+        return 100.0 * abs(self.total_time_ch - self.total_time_md) / \
+            max(self.total_time_md, 1e-12)
+
+
+def evaluate(model: IOModel, estimate: EstimateReport, measure: MeasureReport,
+             peaks: dict[str, float] | None = None) -> Evaluation:
+    """Join estimation and measurement into per-phase evaluation rows.
+
+    ``peaks`` maps operation kind ("write"/"read") to BW_PK in MB/s; for
+    mixed phases the average of the kinds' peaks is used (the paper's
+    Table IX lists an intermediate BW_PK for the W-R phase).
+    """
+    ev = Evaluation(config_name=estimate.config_name)
+    measured = {m.phase_id: m for m in measure.phases}
+    model_phases = {ph.phase_id: ph for ph in model.phases}
+    for est in estimate.phases:
+        md = measured.get(est.phase_id)
+        if md is None:
+            continue
+        ph = model_phases[est.phase_id]
+        bw_pk = None
+        if peaks:
+            kinds = ph.kinds
+            bw_pk = sum(peaks[k] for k in kinds) / len(kinds)
+        ev.rows.append(EvaluationRow(
+            phase_id=est.phase_id,
+            op_label=est.op_label,
+            n_operations=ph.n_operations,
+            weight=est.weight,
+            bw_ch_mb_s=est.bw_ch_mb_s,
+            bw_md_mb_s=md.bw_md_mb_s,
+            time_ch=est.time_ch,
+            time_md=md.time_md,
+            bw_pk_mb_s=bw_pk,
+        ))
+    return ev
+
+
+def characterize_peaks_for(cluster_factory: ClusterFactory) -> dict[str, float]:
+    """BW_PK per operation kind for a configuration (eqs. 3-4, via IOzone)."""
+    return {
+        "write": peak_bandwidth(cluster_factory, "write"),
+        "read": peak_bandwidth(cluster_factory, "read"),
+    }
+
+
+def full_study(program: Callable, nprocs: int, *args,
+               cluster_factories: dict[str, ClusterFactory],
+               app_name: str = "app",
+               measure_configs: Sequence[str] = (),
+               tick_tol: int = 16) -> dict:
+    """The complete methodology for one application.
+
+    Characterize once; estimate on every configuration; optionally
+    validate (measure) on some of them.  Returns a dict with the model,
+    per-config estimates, measurements, evaluations and the selection.
+    """
+    model, bundle = characterize_app(program, nprocs, *args,
+                                     app_name=app_name, tick_tol=tick_tol)
+    estimates = {
+        name: estimate_on(model, factory, config_name=name)
+        for name, factory in cluster_factories.items()
+    }
+    evaluations = {}
+    for name in measure_configs:
+        factory = cluster_factories[name]
+        measure, measured_model = measure_on(
+            program, nprocs, *args, cluster_factory=factory,
+            app_name=app_name, tick_tol=tick_tol)
+        peaks = characterize_peaks_for(factory)
+        evaluations[name] = evaluate(measured_model, estimates[name],
+                                     measure, peaks=peaks)
+    totals = {name: est.total_time_ch for name, est in estimates.items()}
+    best = min(totals, key=totals.get)
+    return {
+        "model": model,
+        "trace": bundle,
+        "estimates": estimates,
+        "evaluations": evaluations,
+        "selection": {"best": best, "totals": totals},
+    }

@@ -1,0 +1,123 @@
+"""Phase-faithful replayer -- the paper's proposed future benchmark.
+
+The paper's conclusion: "we have observed the increasing of error for
+the complex phases as phase 3 of MADbench2, where the error was about
+the 50%.  This is because we used ... IOR and this does not allow to
+configure complex access patterns.  We are designing [a] benchmark to
+replicate the I/O when there are 2 or more operations in a phase to fit
+the characterization better and reduce estimation error."
+
+:class:`PhaseReplayer` is that benchmark: it replays a phase's exact
+repeating unit -- every operation in order, with its own request size,
+displacement and per-rank initial offset from the model's
+``f(initOffset)`` -- instead of one IOR run per operation type with
+averaged bandwidths.  For single-operation phases it degenerates to the
+IOR behaviour (same layout, same sizes), so it can replace IOR wholesale
+in the estimation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simmpi.context import RankContext
+from repro.simmpi.engine import Engine, Platform
+from repro.simmpi.fileio import IOEvent
+
+from .phases import Phase
+
+MB = 1024 * 1024
+
+
+@dataclass
+class ReplayResult:
+    """Bandwidths of one phase replay."""
+
+    phase_id: int
+    bw_mb_s: float  # end-to-end phase bandwidth (all ops together)
+    bw_by_kind: dict[str, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
+class _ReplaySpec:
+    """Everything a rank needs to re-enact one phase."""
+
+    ops: tuple  # PhaseOp tuple
+    rep: int
+    collective: bool
+    unique_file: bool
+    np: int
+    filename: str
+
+
+def _replay_program(ctx: RankContext, spec: _ReplaySpec) -> None:
+    fh = ctx.file_open(spec.filename, unique=spec.unique_file)
+    ctx.barrier()
+    for k in range(spec.rep):
+        for op in spec.ops:
+            # The model's absolute offset function gives this rank's
+            # position; unique files replay rank-relative.
+            if spec.unique_file:
+                offset = k * max(op.disp, op.request_size)
+            else:
+                offset = op.abs_offset_fn(ctx.rank) + k * (
+                    op.disp if op.disp else op.request_size)
+            if op.kind == "write":
+                if op.collective:
+                    fh.write_at_all(offset, op.request_size)
+                else:
+                    fh.write_at(offset, op.request_size)
+            else:
+                if op.collective:
+                    fh.read_at_all(offset, op.request_size)
+                else:
+                    fh.read_at(offset, op.request_size)
+    fh.close()
+    ctx.barrier()
+
+
+def replay_phase(phase: Phase, platform: Platform,
+                 min_repetitions: int = 1) -> ReplayResult:
+    """Re-enact ``phase`` on a (fresh) platform; returns its bandwidths.
+
+    ``min_repetitions`` inflates short phases so the measurement reaches
+    the target's steady state (same rationale as the IOR replication's
+    STEADY_STATE_MIN_BLOCK).
+    """
+    spec = _ReplaySpec(
+        ops=phase.ops,
+        rep=max(phase.rep, min_repetitions),
+        collective=phase.collective,
+        unique_file=phase.unique_file,
+        np=phase.np,
+        filename=f"replay.phase{phase.phase_id}",
+    )
+    events: list[IOEvent] = []
+    engine = Engine(phase.np, platform=platform)
+    engine.add_io_hook(events.append)
+    run = engine.run(_replay_program, spec)
+
+    begin = min(e.time for e in events)
+    end = max(e.time + e.duration for e in events)
+    total = sum(e.request_size for e in events)
+    span = max(end - begin, 1e-12)
+    result = ReplayResult(phase_id=phase.phase_id,
+                          bw_mb_s=total / MB / span, elapsed=run.elapsed)
+    for kind in ("write", "read"):
+        evs = [e for e in events if e.kind == kind]
+        if not evs:
+            continue
+        kbegin = min(e.time for e in evs)
+        kend = max(e.time + e.duration for e in evs)
+        kbytes = sum(e.request_size for e in evs)
+        result.bw_by_kind[kind] = kbytes / MB / max(kend - kbegin, 1e-12)
+    return result
+
+
+def estimate_phase_replayed(phase: Phase, cluster_factory,
+                            min_repetitions: int = 6) -> float:
+    """Time_io(CH) for a phase via the faithful replayer (eq. 2 analogue)."""
+    result = replay_phase(phase, cluster_factory(),
+                          min_repetitions=min_repetitions)
+    return phase.weight / MB / result.bw_mb_s

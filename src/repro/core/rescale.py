@@ -1,0 +1,135 @@
+"""Model rescaling across process counts.
+
+The paper observes (Table XI, Figs. 9-10) that BT-IO's model has the
+same *shape* for 36, 64 and 121 processes: only the per-process request
+size changes (the problem volume is fixed), while the offset functions
+keep their form ``rs*idP + rs*np*(ph-1)``.  That regularity makes the
+model *predictive*: characterize once at a convenient process count,
+rescale to the production count, estimate there -- without tracing the
+big run at all.
+
+``rescale_model`` implements the weight-preserving SPMD rescaling:
+
+* each phase keeps its weight (the bytes a phase moves are set by the
+  problem, not the process count);
+* the per-process request size becomes ``weight / (new_np * rep * k)``
+  (k = operations per repetition unit), rounded down to whole etypes;
+* offset functions are re-derived by scaling their rs-proportional
+  coefficients (exact for the linear idP-proportional forms the paper's
+  workloads produce).
+
+The assumptions (fixed total volume, block decomposition, all ranks
+participate) are checked; phases that violate them raise
+:class:`RescaleError`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .model import IOModel
+from .offsetfn import OffsetFunction
+from .phases import Phase, PhaseOp
+
+
+class RescaleError(ValueError):
+    """The model does not satisfy the SPMD rescaling assumptions."""
+
+
+def rescale_model(model: IOModel, new_np: int, etype_size: int | None = None) -> IOModel:
+    """Predict the model of the same application on ``new_np`` processes."""
+    if new_np <= 0:
+        raise RescaleError(f"new_np must be positive, got {new_np}")
+    if etype_size is None:
+        etype_size = max((f.etype_size for f in model.metadata.files),
+                         default=1)
+    new_phases = [
+        _rescale_phase(ph, model.np, new_np, etype_size)
+        for ph in model.phases
+    ]
+    return IOModel(
+        app_name=f"{model.app_name}@np{new_np}",
+        np=new_np,
+        metadata=model.metadata,
+        phases=new_phases,
+        tick_tol=model.tick_tol,
+    )
+
+
+def _rescale_phase(ph: Phase, old_np: int, new_np: int,
+                   etype_size: int) -> Phase:
+    if ph.np != old_np:
+        raise RescaleError(
+            f"phase {ph.phase_id} involves {ph.np} of {old_np} processes; "
+            "only full-participation phases can be rescaled")
+    scale = Fraction(old_np, new_np)
+    new_ops = []
+    for op in ph.ops:
+        new_rs_f = op.request_size * scale
+        new_rs = int(new_rs_f) // etype_size * etype_size
+        if new_rs <= 0:
+            raise RescaleError(
+                f"phase {ph.phase_id}: request size {op.request_size} does "
+                f"not survive rescaling {old_np}->{new_np}")
+        rs_ratio = Fraction(new_rs, op.request_size)
+        new_ops.append(PhaseOp(
+            op=op.op,
+            kind=op.kind,
+            request_size=new_rs,
+            disp=_scale_int(op.disp, rs_ratio),
+            offset_fn=_rescale_fn(op.offset_fn, op.request_size, new_rs,
+                                  old_np, new_np),
+            abs_offset_fn=_rescale_fn(op.abs_offset_fn, op.request_size,
+                                      new_rs, old_np, new_np),
+        ))
+    return Phase(
+        phase_id=ph.phase_id,
+        file_group=ph.file_group,
+        rep=ph.rep,
+        ops=tuple(new_ops),
+        ranks=tuple(range(new_np)),
+        tick=ph.tick,
+        first_time=ph.first_time,
+        duration=0.0,  # predictions carry no measured duration
+        unique_file=ph.unique_file,
+        file_ids=ph.file_ids,
+    )
+
+
+def _scale_int(value: int, scale: Fraction) -> int:
+    scaled = value * scale
+    return int(scaled)
+
+
+def _rescale_fn(fn: OffsetFunction, old_rs: int, new_rs: int,
+                old_np: int, new_np: int) -> OffsetFunction:
+    """Rescale a linear offset function to the new decomposition.
+
+    The slope is the per-rank layout extent, proportional to the request
+    size.  The intercept mixes two kinds of positioning the paper's
+    workloads exhibit:
+
+    * *volume units* -- multiples of the fixed total ``np*rs`` (BT-IO's
+      ``rs*np*(ph-1)``: dump d always starts at the same byte);
+    * *slice units* -- a remainder below ``np*rs`` measured in the
+      per-process request size (MADbench2's ``+2*rs``: two bins into
+      the process's own region).
+
+    The decomposition ``intercept = q*(old_np*old_rs) + r`` keeps the
+    q-part invariant (the total volume is preserved) and scales the
+    remainder by ``new_rs/old_rs``.  Non-linear (table) functions cannot
+    be extrapolated to ranks that did not exist -- they raise.
+    """
+    if not fn.is_linear:
+        raise RescaleError("cannot rescale a non-linear offset function")
+    rs_ratio = Fraction(new_rs, old_rs)
+    if fn.slope > 0 and fn.intercept < fn.slope:
+        # The start lies inside rank 0's own region: pure slice units
+        # (MADbench2's ``+2*rs`` / ``+6*rs`` bins).
+        new_intercept = fn.intercept * rs_ratio
+    else:
+        volume = old_np * old_rs
+        q, r = divmod(fn.intercept, volume) if volume else (0, fn.intercept)
+        new_intercept = q * volume + r * rs_ratio
+    return OffsetFunction(slope=fn.slope * rs_ratio,
+                          intercept=new_intercept, table=())

@@ -1,0 +1,140 @@
+"""I/O signature classification (related work: Byna et al., SC'08).
+
+The paper builds on Byna's classification of parallel I/O patterns to
+define local access patterns ("We use their propos[al] to identify
+access patterns").  This module closes that loop: it classifies each
+phase of an I/O model along the taxonomy's dimensions --
+
+* **spatial locality**: contiguous / fixed-strided / variable / random,
+  from the phase's repetition displacement vs. request size;
+* **request size class**: small / medium / large, against configurable
+  thresholds;
+* **repetition**: single / repeating;
+* **temporal interleaving**: whether other phases' operations occur
+  between the phase's repetitions (tick density);
+* **parallelism**: independent / collective, shared / unique file.
+
+Signatures are hashable, so workloads can be compared, clustered or
+matched against a library of known patterns (the prefetching use case
+of the original work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .model import IOModel
+from .phases import Phase
+
+MB = 1024 * 1024
+
+#: Request-size class boundaries (bytes): below small -> "small", above
+#: large -> "large".
+SMALL_REQUEST = 64 * 1024
+LARGE_REQUEST = 4 * MB
+
+
+@dataclass(frozen=True)
+class PhaseSignature:
+    """One phase's position in the pattern taxonomy."""
+
+    spatial: str  # contiguous | fixed-strided | variable | single
+    request_class: str  # small | medium | large
+    repetition: str  # single | repeating
+    interleaved: bool  # other MPI events between repetitions
+    parallelism: str  # independent | collective
+    sharing: str  # shared | unique
+
+    def as_tuple(self) -> tuple:
+        return (self.spatial, self.request_class, self.repetition,
+                self.interleaved, self.parallelism, self.sharing)
+
+
+def classify_phase(phase: Phase) -> PhaseSignature:
+    """Classify one phase."""
+    op = phase.ops[0]
+    if phase.rep == 1:
+        spatial = "single"
+    elif len({o.disp for o in phase.ops}) > 1:
+        spatial = "variable"
+    elif op.disp == op.request_size * len(phase.ops) or \
+            (len(phase.ops) == 1 and op.disp == op.request_size):
+        spatial = "contiguous"
+    elif op.disp == 0:
+        spatial = "contiguous"  # re-access of the same region
+    else:
+        spatial = "fixed-strided"
+
+    rs = max(o.request_size for o in phase.ops)
+    if rs < SMALL_REQUEST:
+        request_class = "small"
+    elif rs > LARGE_REQUEST:
+        request_class = "large"
+    else:
+        request_class = "medium"
+
+    # Repetitions packed into consecutive ticks are non-interleaved; a
+    # burst whose ticks spread wider had other MPI events in between.
+    # (Phases are built from tick-adjacent bursts, so within a phase this
+    # is only true for multi-op units spanning > 1 tick per repetition.)
+    interleaved = len(phase.ops) > 1
+
+    return PhaseSignature(
+        spatial=spatial,
+        request_class=request_class,
+        repetition="repeating" if phase.rep > 1 else "single",
+        interleaved=interleaved,
+        parallelism="collective" if phase.collective else "independent",
+        sharing="unique" if phase.unique_file else "shared",
+    )
+
+
+def classify_model(model: IOModel) -> dict[int, PhaseSignature]:
+    """Signatures for every phase, keyed by phase id."""
+    return {ph.phase_id: classify_phase(ph) for ph in model.phases}
+
+
+def signature_histogram(model: IOModel) -> dict[tuple, int]:
+    """How many phases (weighted by count) share each signature."""
+    hist: dict[tuple, int] = {}
+    for sig in classify_model(model).values():
+        key = sig.as_tuple()
+        hist[key] = hist.get(key, 0) + 1
+    return hist
+
+
+def dominant_signature(model: IOModel) -> PhaseSignature:
+    """The signature carrying the most weight (bytes) in the model."""
+    best: tuple[int, PhaseSignature] | None = None
+    totals: dict[PhaseSignature, int] = {}
+    for ph in model.phases:
+        sig = classify_phase(ph)
+        totals[sig] = totals.get(sig, 0) + ph.weight
+    for sig, weight in totals.items():
+        if best is None or weight > best[0]:
+            best = (weight, sig)
+    assert best is not None
+    return best[1]
+
+
+def similarity(a: IOModel, b: IOModel) -> float:
+    """Weighted Jaccard similarity of two models' signature histograms.
+
+    1.0 means the workloads exercise the same pattern mix in the same
+    byte proportions; 0.0 means disjoint pattern sets.  Useful for
+    matching a new application against a library of modeled ones.
+    """
+    def weights(model: IOModel) -> dict[tuple, float]:
+        out: dict[tuple, float] = {}
+        total = max(1, model.total_weight)
+        for ph in model.phases:
+            key = classify_phase(ph).as_tuple()
+            out[key] = out.get(key, 0.0) + ph.weight / total
+        return out
+
+    wa, wb = weights(a), weights(b)
+    keys = set(wa) | set(wb)
+    inter = sum(min(wa.get(k, 0.0), wb.get(k, 0.0)) for k in keys)
+    union = sum(max(wa.get(k, 0.0), wb.get(k, 0.0)) for k in keys)
+    return inter / union if union else 1.0

@@ -1,0 +1,129 @@
+"""Model quality assurance: does a model fully account for its trace?
+
+Phase extraction is a lossy summarization; before a model is shipped to
+size production systems, it should be audited against the trace it came
+from.  :func:`validate_model` checks:
+
+* **byte coverage** -- the sum of phase weights equals the traced bytes
+  (nothing dropped, nothing double-counted);
+* **operation coverage** -- every traced operation count is represented
+  by some phase's ``np * rep`` budget, per routine;
+* **offset consistency** -- each phase's f(initOffset) reproduces the
+  initial offset actually observed for every member rank;
+* **ordering** -- phase ids follow virtual start time.
+
+Returns a :class:`ValidationReport` listing any findings; an empty
+report means the model is a faithful summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.tracer.hooks import TraceBundle
+
+from .model import IOModel
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation issue."""
+
+    severity: str  # "error" | "warning"
+    where: str  # phase id / "model"
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a model audit."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def describe(self) -> str:
+        if not self.findings:
+            return "model validates cleanly against its trace"
+        return "\n".join(f"[{f.severity}] {f.where}: {f.message}"
+                         for f in self.findings)
+
+    def _add(self, severity: str, where: str, message: str) -> None:
+        self.findings.append(Finding(severity, where, message))
+
+
+def validate_model(model: IOModel, bundle: TraceBundle) -> ValidationReport:
+    """Audit ``model`` against the trace it was extracted from."""
+    report = ValidationReport()
+
+    # Byte coverage.
+    traced = bundle.total_bytes
+    modeled = model.total_weight
+    if modeled != traced:
+        report._add("error", "model",
+                    f"phase weights sum to {modeled} bytes but the trace "
+                    f"moved {traced}")
+
+    # Operation counts per routine.
+    traced_ops: dict[str, int] = {}
+    for rec in bundle.records:
+        traced_ops[rec.op] = traced_ops.get(rec.op, 0) + 1
+    modeled_ops: dict[str, int] = {}
+    for ph in model.phases:
+        for op in ph.ops:
+            modeled_ops[op.op] = modeled_ops.get(op.op, 0) + ph.np * ph.rep
+    for routine in sorted(set(traced_ops) | set(modeled_ops)):
+        t, m = traced_ops.get(routine, 0), modeled_ops.get(routine, 0)
+        if t != m:
+            report._add("error", "model",
+                        f"{routine}: trace has {t} operations, phases "
+                        f"account for {m}")
+
+    # Offset functions reproduce the observed initial offsets.
+    _check_offsets(model, bundle, report)
+
+    # Temporal ordering.
+    times = [ph.first_time for ph in model.phases]
+    if times != sorted(times):
+        report._add("warning", "model",
+                    "phase ids are not ordered by virtual start time")
+
+    if model.np != bundle.nprocs:
+        report._add("error", "model",
+                    f"model np={model.np} but trace has {bundle.nprocs}")
+    return report
+
+
+def _check_offsets(model: IOModel, bundle: TraceBundle,
+                   report: ValidationReport) -> None:
+    # Index records by (rank, op, tick) for first-occurrence lookups.
+    by_rank_op: dict[tuple[int, str], list] = {}
+    for rec in bundle.records:
+        by_rank_op.setdefault((rec.rank, rec.op), []).append(rec)
+
+    for ph in model.phases:
+        for op in ph.ops:
+            for rank in ph.ranks:
+                candidates = by_rank_op.get((rank, op.op), [])
+                expected = op.abs_offset_fn(rank)
+                if not any(rec.abs_offset == expected for rec in candidates):
+                    report._add(
+                        "error", f"phase {ph.phase_id}",
+                        f"f(initOffset) predicts byte {expected} for rank "
+                        f"{rank} ({op.op}) but no such access was traced")
+                    break
+
+
+def audit(model: IOModel, bundle: TraceBundle,
+          raise_on_error: bool = False) -> ValidationReport:
+    """Convenience wrapper; optionally raises on a failed audit."""
+    report = validate_model(model, bundle)
+    if raise_on_error and not report.ok:
+        raise ValueError("model failed validation:\n" + report.describe())
+    return report

@@ -1,0 +1,79 @@
+"""I/O subsystem simulator.
+
+The substitute for the paper's physical testbeds: disks, RAID/JBOD
+volumes, ext3/ext4 local filesystems with write-back caches, contended
+network links, I/O nodes, and NFS/PVFS2/Lustre global filesystems --
+assembled into :class:`Cluster` objects that plug into the simulated MPI
+engine as its cost model.
+"""
+
+from .cluster import Cluster, ClusterDescription
+from .collective import merge_runs, split_regions, two_phase_io
+from .device import MB, SECTOR_BYTES, SSD_SPEC, Disk, DiskSpec
+from .globalfs import NFS, PVFS2, Access, GlobalFS, Lustre, stripe_shares
+from .localfs import EXT3, EXT4, FSSpec, LocalFS
+from .monitor import BucketRow, DeviceMonitor, TransferSample
+from .network import (
+    GIGABIT_ETHERNET,
+    INFINIBAND_20G,
+    Link,
+    LinkSpec,
+    collective_comm_time,
+)
+from .nodes import ComputeNode, IONode
+from .raid import (
+    JBOD,
+    RAID0,
+    RAID1,
+    RAID5,
+    RAID6,
+    RAID10,
+    Volume,
+    VolumeSummary,
+    summarize,
+)
+from .resource import Resource, ResourceGroup
+
+__all__ = [
+    "Access",
+    "BucketRow",
+    "Cluster",
+    "ClusterDescription",
+    "ComputeNode",
+    "DeviceMonitor",
+    "Disk",
+    "DiskSpec",
+    "EXT3",
+    "EXT4",
+    "FSSpec",
+    "GIGABIT_ETHERNET",
+    "GlobalFS",
+    "INFINIBAND_20G",
+    "IONode",
+    "JBOD",
+    "Link",
+    "LinkSpec",
+    "LocalFS",
+    "Lustre",
+    "MB",
+    "NFS",
+    "PVFS2",
+    "RAID0",
+    "RAID1",
+    "RAID10",
+    "RAID5",
+    "RAID6",
+    "Resource",
+    "SSD_SPEC",
+    "ResourceGroup",
+    "SECTOR_BYTES",
+    "TransferSample",
+    "Volume",
+    "VolumeSummary",
+    "collective_comm_time",
+    "merge_runs",
+    "split_regions",
+    "stripe_shares",
+    "summarize",
+    "two_phase_io",
+]

@@ -1,0 +1,86 @@
+"""Rotating-disk device model with sector accounting.
+
+The disk is the leaf of the simulated I/O stack.  Costs:
+
+* sequential transfer at ``seq_write_bw`` / ``seq_read_bw`` (MB/s);
+* a seek penalty whenever a request does not continue where the previous
+  one on this disk ended (``seek_ms`` + half-rotation latency);
+* per-request controller overhead (``op_overhead_ms``).
+
+Each transfer is recorded with the owning :class:`~repro.iosim.monitor.
+DeviceMonitor` (if attached) so iostat-style series (Fig. 8: sectors/s
+and %busy per device) can be produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .resource import Resource
+
+MB = 1024 * 1024
+SECTOR_BYTES = 512
+
+
+@dataclass
+class DiskSpec:
+    """Performance parameters of one disk."""
+
+    seq_write_bw: float = 90.0  # MB/s
+    seq_read_bw: float = 100.0  # MB/s
+    seek_ms: float = 8.5
+    rotational_ms: float = 4.2  # half-rotation at 7200 rpm
+    op_overhead_ms: float = 0.05
+    capacity_gb: float = 150.0
+
+
+#: A SATA SSD: no mechanical positioning, high sustained rates.  Useful
+#: for modern-hardware what-if studies on top of the paper's methodology.
+SSD_SPEC = DiskSpec(seq_write_bw=450.0, seq_read_bw=520.0, seek_ms=0.0,
+                    rotational_ms=0.0, op_overhead_ms=0.02, capacity_gb=480.0)
+
+
+@dataclass
+class Disk:
+    """One physical disk: an FCFS resource plus head-position state."""
+
+    name: str
+    spec: DiskSpec = field(default_factory=DiskSpec)
+    monitor: "object | None" = None  # DeviceMonitor, set by the cluster
+
+    def __post_init__(self) -> None:
+        self.resource = Resource(self.name)
+        self._head: float | None = None  # byte offset after the last transfer
+
+    def transfer(self, start: float, offset: int, nbytes: int, kind: str,
+                 fragments: int = 1) -> float:
+        """Service a transfer; returns its completion time (virtual seconds).
+
+        ``fragments > 1`` models a request whose blocks interleave with
+        other clients' on the platter (striped filesystems): each extra
+        fragment costs one seek.
+        """
+        if nbytes <= 0:
+            return start
+        bw = self.spec.seq_write_bw if kind == "write" else self.spec.seq_read_bw
+        cost = self.spec.op_overhead_ms / 1e3 + nbytes / (bw * MB)
+        seek_s = (self.spec.seek_ms + self.spec.rotational_ms) / 1e3
+        # Near-sequential accesses (short same-track skips, e.g. journal
+        # padding) do not pay a full seek.
+        near = max(64 * 1024, nbytes // 4)
+        if self._head is None or abs(offset - self._head) > near:
+            cost += seek_s
+        cost += max(0, fragments - 1) * seek_s
+        self._head = offset + nbytes
+        begin, end = self.resource.acquire(start, cost)
+        if self.monitor is not None:
+            self.monitor.record(self.name, begin, end, nbytes, kind)
+        return end
+
+    def peak_bw(self, kind: str) -> float:
+        """Best-case streaming bandwidth in MB/s (no seeks, no overhead)."""
+        return self.spec.seq_write_bw if kind == "write" else self.spec.seq_read_bw
+
+    def reset(self) -> None:
+        self.resource.reset()
+        self._head = None

@@ -1,0 +1,101 @@
+"""iostat-style device monitoring.
+
+The paper monitors I/O devices with ``iostat -x -p 1`` on every I/O node
+(Fig. 8: sectors/s written and %busy over wall time, phase-aligned with
+the application's I/O phases).  :class:`DeviceMonitor` collects one
+sample per device transfer in *virtual* time and aggregates them into
+per-second buckets, exactly what the figure plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .device import SECTOR_BYTES
+
+
+@dataclass(frozen=True)
+class TransferSample:
+    device: str
+    begin: float
+    end: float
+    nbytes: int
+    kind: str  # "write" | "read"
+
+
+@dataclass
+class BucketRow:
+    """One row of the iostat-like report: a 1-second (by default) bucket."""
+
+    time: float
+    sectors_written_per_s: float = 0.0
+    sectors_read_per_s: float = 0.0
+    busy_fraction: float = 0.0
+
+    @property
+    def wsec_per_s(self) -> float:  # iostat column name alias
+        return self.sectors_written_per_s
+
+    @property
+    def rsec_per_s(self) -> float:
+        return self.sectors_read_per_s
+
+
+@dataclass
+class DeviceMonitor:
+    """Collects per-device transfer samples and renders iostat-like series."""
+
+    samples: list[TransferSample] = field(default_factory=list)
+
+    def record(self, device: str, begin: float, end: float, nbytes: int, kind: str) -> None:
+        self.samples.append(TransferSample(device, begin, end, nbytes, kind))
+
+    def devices(self) -> list[str]:
+        return sorted({s.device for s in self.samples})
+
+    def series(self, device: str, bucket: float = 1.0) -> list[BucketRow]:
+        """Per-bucket sectors/s and busy fraction for one device.
+
+        A transfer spanning several buckets contributes proportionally to
+        each (its bytes and busy time are spread uniformly over its
+        duration), matching how iostat attributes activity to intervals.
+        """
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        dev_samples = [s for s in self.samples if s.device == device]
+        if not dev_samples:
+            return []
+        horizon = max(s.end for s in dev_samples)
+        nbuckets = max(1, math.ceil(horizon / bucket))
+        rows = [BucketRow(time=i * bucket) for i in range(nbuckets)]
+        for s in dev_samples:
+            dur = max(s.end - s.begin, 1e-12)
+            first = int(s.begin // bucket)
+            last = min(int(s.end // bucket), nbuckets - 1)
+            for i in range(first, last + 1):
+                lo = max(s.begin, i * bucket)
+                hi = min(s.end, (i + 1) * bucket)
+                if hi <= lo:
+                    continue
+                frac = (hi - lo) / dur
+                sectors = s.nbytes * frac / SECTOR_BYTES
+                if s.kind == "write":
+                    rows[i].sectors_written_per_s += sectors / bucket
+                else:
+                    rows[i].sectors_read_per_s += sectors / bucket
+                rows[i].busy_fraction += (hi - lo) / bucket
+        for r in rows:
+            r.busy_fraction = min(1.0, r.busy_fraction)
+        return rows
+
+    def total_bytes(self, device: str | None = None, kind: str | None = None) -> int:
+        return sum(
+            s.nbytes
+            for s in self.samples
+            if (device is None or s.device == device)
+            and (kind is None or s.kind == kind)
+        )
+
+    def clear(self) -> None:
+        self.samples.clear()

@@ -1,0 +1,58 @@
+"""Node types of the simulated cluster.
+
+``ComputeNode`` owns a NIC that all ranks placed on it share (the
+client-side serialization point).  ``IONode`` is a storage server: NIC +
+local filesystem over a volume.  It doubles as the unit IOzone
+characterizes for the peak bandwidth of eq. (3)/(4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .localfs import LocalFS
+from .network import GIGABIT_ETHERNET, Link, LinkSpec
+
+
+@dataclass
+class ComputeNode:
+    """A compute host: ranks share its NIC and RAM."""
+
+    name: str
+    nic: Link
+    ram_gb: float = 2.0
+    cores: int = 2
+
+    @classmethod
+    def make(cls, name: str, link_spec: LinkSpec = GIGABIT_ETHERNET,
+             ram_gb: float = 2.0, cores: int = 2) -> "ComputeNode":
+        return cls(name=name, nic=Link(f"{name}.nic", link_spec), ram_gb=ram_gb,
+                   cores=cores)
+
+
+@dataclass
+class IONode:
+    """A storage server: NIC + local FS over a block volume."""
+
+    name: str
+    nic: Link
+    fs: LocalFS
+    ram_gb: float = 1.0
+
+    @classmethod
+    def make(cls, name: str, fs: LocalFS, link_spec: LinkSpec = GIGABIT_ETHERNET,
+             ram_gb: float = 1.0) -> "IONode":
+        return cls(name=name, nic=Link(f"{name}.nic", link_spec), fs=fs, ram_gb=ram_gb)
+
+    def peak_bw(self, kind: str) -> float:
+        """Device-level streaming bandwidth of this I/O node (MB/s).
+
+        This is the analytic counterpart of ``maxBW(ION_i)`` in eq. (3);
+        the IOzone app (:mod:`repro.apps.iozone`) measures the same thing
+        empirically against ``fs``.
+        """
+        return self.fs.peak_bw(kind)
+
+    def reset(self) -> None:
+        self.fs.reset()
+        self.nic.reset()

@@ -1,0 +1,277 @@
+"""Block-level volumes: JBOD and RAID 0/1/5.
+
+A :class:`Volume` turns one logical transfer into member-disk transfers
+(fork/join: the volume transfer completes when the slowest member does)
+and reports peak streaming bandwidth for the IOzone-style device
+characterization (eq. 3).  RAID 5 models the classic behaviours:
+
+* full-stripe writes cost ``n/(n-1)`` extra traffic for parity;
+* sub-stripe writes pay read-modify-write (data+parity read, then
+  written back -- 4 accesses for 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import MB, Disk
+
+
+class Volume:
+    """Base class: a set of disks behind one block device."""
+
+    def __init__(self, name: str, disks: list[Disk]):
+        if not disks:
+            raise ValueError("a volume needs at least one disk")
+        self.name = name
+        self.disks = disks
+
+    def transfer(self, start: float, offset: int, nbytes: int, kind: str,
+                 locator: int = 0, fragments: int = 1) -> float:
+        raise NotImplementedError
+
+    def peak_bw(self, kind: str) -> float:
+        """Best-case streaming MB/s of the volume."""
+        raise NotImplementedError
+
+    @property
+    def capacity_gb(self) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        for d in self.disks:
+            d.reset()
+
+    def attach_monitor(self, monitor) -> None:
+        for d in self.disks:
+            d.monitor = monitor
+
+
+class JBOD(Volume):
+    """Independent disks; one logical object lives on one disk.
+
+    ``locator`` (e.g. a file id) picks the member; capacity is the sum.
+    """
+
+    def transfer(self, start: float, offset: int, nbytes: int, kind: str,
+                 locator: int = 0, fragments: int = 1) -> float:
+        disk = self.disks[locator % len(self.disks)]
+        return disk.transfer(start, offset, nbytes, kind, fragments=fragments)
+
+    def peak_bw(self, kind: str) -> float:
+        # A single stream touches one disk at a time.
+        return max(d.peak_bw(kind) for d in self.disks)
+
+    @property
+    def capacity_gb(self) -> float:
+        return sum(d.spec.capacity_gb for d in self.disks)
+
+
+class RAID0(Volume):
+    """Striping without redundancy: bandwidth scales with member count."""
+
+    def __init__(self, name: str, disks: list[Disk], stripe_kb: int = 256):
+        super().__init__(name, disks)
+        self.stripe_kb = stripe_kb
+
+    def transfer(self, start: float, offset: int, nbytes: int, kind: str,
+                 locator: int = 0, fragments: int = 1) -> float:
+        n = len(self.disks)
+        per_disk = nbytes / n
+        member_off = offset // n
+        return max(d.transfer(start, member_off, int(per_disk) or 1, kind,
+                              fragments=fragments)
+                   for d in self.disks)
+
+    def peak_bw(self, kind: str) -> float:
+        return sum(d.peak_bw(kind) for d in self.disks)
+
+    @property
+    def capacity_gb(self) -> float:
+        return sum(d.spec.capacity_gb for d in self.disks)
+
+
+class RAID1(Volume):
+    """Mirroring: writes hit every member, reads are load-balanced."""
+
+    def transfer(self, start: float, offset: int, nbytes: int, kind: str,
+                 locator: int = 0, fragments: int = 1) -> float:
+        if kind == "write":
+            return max(d.transfer(start, offset, nbytes, kind, fragments=fragments)
+                       for d in self.disks)
+        per_disk = max(1, nbytes // len(self.disks))
+        return max(d.transfer(start, offset, per_disk, kind, fragments=fragments)
+                   for d in self.disks)
+
+    def peak_bw(self, kind: str) -> float:
+        if kind == "write":
+            return min(d.peak_bw(kind) for d in self.disks)
+        return sum(d.peak_bw(kind) for d in self.disks)
+
+    @property
+    def capacity_gb(self) -> float:
+        return min(d.spec.capacity_gb for d in self.disks)
+
+
+class RAID5(Volume):
+    """Rotating-parity stripe over ``n >= 3`` disks."""
+
+    def __init__(self, name: str, disks: list[Disk], stripe_kb: int = 256):
+        if len(disks) < 3:
+            raise ValueError("RAID5 needs at least 3 disks")
+        super().__init__(name, disks)
+        self.stripe_kb = stripe_kb
+
+    @property
+    def _data_disks(self) -> int:
+        return len(self.disks) - 1
+
+    @property
+    def full_stripe_bytes(self) -> int:
+        return self.stripe_kb * 1024 * self._data_disks
+
+    def transfer(self, start: float, offset: int, nbytes: int, kind: str,
+                 locator: int = 0, fragments: int = 1) -> float:
+        n = len(self.disks)
+        member_off = offset // self._data_disks
+        if kind == "read":
+            per_disk = nbytes / self._data_disks
+            return max(d.transfer(start, member_off, max(1, int(per_disk)), "read",
+                                  fragments=fragments)
+                       for d in self.disks[:-1])
+        if nbytes >= self.full_stripe_bytes:
+            # Full-stripe write: parity computed in memory, each member
+            # (including the parity position) writes its share.
+            per_disk = nbytes / self._data_disks
+            return max(d.transfer(start, member_off, max(1, int(per_disk)), "write",
+                                  fragments=fragments)
+                       for d in self.disks)
+        # Read-modify-write: old data + old parity read, new data + parity
+        # written -- modelled as doubled traffic on two members.
+        end = start
+        data_disk = self.disks[locator % n]
+        parity_disk = self.disks[(locator + 1) % n]
+        for d in (data_disk, parity_disk):
+            e1 = d.transfer(start, member_off, nbytes, "read")
+            e2 = d.transfer(e1, member_off, nbytes, "write")
+            end = max(end, e2)
+        return end
+
+    def peak_bw(self, kind: str) -> float:
+        per = self.disks[0].peak_bw(kind)
+        if kind == "read":
+            return per * self._data_disks
+        return per * self._data_disks  # full-stripe writes: parity is overlapped
+
+    @property
+    def capacity_gb(self) -> float:
+        return self.disks[0].spec.capacity_gb * self._data_disks
+
+
+class RAID6(Volume):
+    """Dual rotating parity over ``n >= 4`` disks (P+Q)."""
+
+    def __init__(self, name: str, disks: list[Disk], stripe_kb: int = 256):
+        if len(disks) < 4:
+            raise ValueError("RAID6 needs at least 4 disks")
+        super().__init__(name, disks)
+        self.stripe_kb = stripe_kb
+
+    @property
+    def _data_disks(self) -> int:
+        return len(self.disks) - 2
+
+    @property
+    def full_stripe_bytes(self) -> int:
+        return self.stripe_kb * 1024 * self._data_disks
+
+    def transfer(self, start: float, offset: int, nbytes: int, kind: str,
+                 locator: int = 0, fragments: int = 1) -> float:
+        member_off = offset // self._data_disks
+        if kind == "read":
+            per_disk = max(1, nbytes // self._data_disks)
+            return max(d.transfer(start, member_off, per_disk, "read",
+                                  fragments=fragments)
+                       for d in self.disks[:-2])
+        if nbytes >= self.full_stripe_bytes:
+            per_disk = max(1, nbytes // self._data_disks)
+            return max(d.transfer(start, member_off, per_disk, "write",
+                                  fragments=fragments)
+                       for d in self.disks)
+        # Read-modify-write touches data + P + Q: 6 accesses for 3.
+        end = start
+        n = len(self.disks)
+        for k in range(3):
+            d = self.disks[(locator + k) % n]
+            e1 = d.transfer(start, member_off, nbytes, "read")
+            e2 = d.transfer(e1, member_off, nbytes, "write")
+            end = max(end, e2)
+        return end
+
+    def peak_bw(self, kind: str) -> float:
+        return self.disks[0].peak_bw(kind) * self._data_disks
+
+    @property
+    def capacity_gb(self) -> float:
+        return self.disks[0].spec.capacity_gb * self._data_disks
+
+
+class RAID10(Volume):
+    """Striped mirrors over an even number of disks."""
+
+    def __init__(self, name: str, disks: list[Disk], stripe_kb: int = 256):
+        if len(disks) < 4 or len(disks) % 2:
+            raise ValueError("RAID10 needs an even number of disks (>= 4)")
+        super().__init__(name, disks)
+        self.stripe_kb = stripe_kb
+
+    @property
+    def _pairs(self) -> int:
+        return len(self.disks) // 2
+
+    def transfer(self, start: float, offset: int, nbytes: int, kind: str,
+                 locator: int = 0, fragments: int = 1) -> float:
+        member_off = offset // self._pairs
+        if kind == "write":
+            # Each pair writes its stripe share to both mirrors.
+            per_pair = max(1, nbytes // self._pairs)
+            return max(d.transfer(start, member_off, per_pair, "write",
+                                  fragments=fragments)
+                       for d in self.disks)
+        # Reads spread over all spindles.
+        per_disk = max(1, nbytes // len(self.disks))
+        return max(d.transfer(start, member_off, per_disk, "read",
+                              fragments=fragments)
+                   for d in self.disks)
+
+    def peak_bw(self, kind: str) -> float:
+        per = self.disks[0].peak_bw(kind)
+        if kind == "write":
+            return per * self._pairs
+        return per * len(self.disks)
+
+    @property
+    def capacity_gb(self) -> float:
+        return sum(d.spec.capacity_gb for d in self.disks) / 2
+
+
+@dataclass
+class VolumeSummary:
+    """What Tables VI/VII report per configuration."""
+
+    level: str
+    n_disks: int
+    capacity_gb: float
+    peak_write_mb_s: float
+    peak_read_mb_s: float
+
+
+def summarize(volume: Volume) -> VolumeSummary:
+    """Digest a volume into the Tables VI/VII inventory row."""
+    return VolumeSummary(
+        level=type(volume).__name__,
+        n_disks=len(volume.disks),
+        capacity_gb=volume.capacity_gb,
+        peak_write_mb_s=volume.peak_bw("write"),
+        peak_read_mb_s=volume.peak_bw("read"),
+    )

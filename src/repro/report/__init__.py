@@ -1,0 +1,42 @@
+"""Paper-style reporting: ASCII tables (Tables VI-XIV) and figure series
+(Figs. 2-10)."""
+
+from .figures import (
+    device_series_ascii,
+    device_series_csv,
+    figure2_trace_excerpt,
+    figure3_lap,
+    figure4_phases,
+    figure5_global_pattern,
+    figure8_device_series,
+    save_figure_artifacts,
+)
+from .tables import (
+    btio_phase_groups,
+    configuration_table,
+    error_table,
+    fmt_bytes,
+    phases_table,
+    render,
+    time_estimation_table,
+    usage_table,
+)
+
+__all__ = [
+    "btio_phase_groups",
+    "configuration_table",
+    "device_series_ascii",
+    "device_series_csv",
+    "error_table",
+    "figure2_trace_excerpt",
+    "figure3_lap",
+    "figure4_phases",
+    "figure5_global_pattern",
+    "figure8_device_series",
+    "fmt_bytes",
+    "phases_table",
+    "render",
+    "save_figure_artifacts",
+    "time_estimation_table",
+    "usage_table",
+]

@@ -1,0 +1,119 @@
+"""Figure-series regeneration (paper Figs. 2-10).
+
+The paper's figures are trace excerpts (Fig. 2-4), 3-D global access
+patterns (Figs. 5-7, 9-10) and device-activity timelines (Fig. 8).
+Each has a generator here producing text/CSV artifacts -- the series a
+plotting tool would consume -- plus a coarse ASCII rendering for
+eyeballing in a terminal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.lap import LAPEntry
+from repro.core.model import IOModel
+from repro.core.patterns import PatternPoint, ascii_plot, global_access_pattern, to_csv
+from repro.iosim.monitor import DeviceMonitor
+from repro.tracer.hooks import TraceBundle
+from repro.tracer.tracefile import HEADER, TraceRecord
+
+
+def figure2_trace_excerpt(bundle: TraceBundle, nrows: int = 4,
+                          ranks: Sequence[int] = (0, 1)) -> str:
+    """Fig. 2: the first rows of each process's trace file."""
+    out = []
+    for rank in ranks:
+        out.append(HEADER)
+        for rec in bundle.by_rank(rank)[:nrows]:
+            out.append(rec.to_line())
+        out.append("")
+    return "\n".join(out)
+
+
+def figure3_lap(entries: Sequence[LAPEntry], ranks: Sequence[int] | None = None) -> str:
+    """Fig. 3: the access-pattern (LAP) files."""
+    out = ["IdP IdF MPI-Operation Rep RequestSize Disp OffsetInit"]
+    for e in entries:
+        if ranks is not None and e.rank not in ranks:
+            continue
+        out.extend(e.to_lines())
+    return "\n".join(out)
+
+
+def figure4_phases(model: IOModel, nphases: int = 2) -> str:
+    """Fig. 4: the first phases with their per-process rows."""
+    out = []
+    for ph in model.phases[:nphases]:
+        out.append(f"Phase {ph.phase_id}")
+        out.append("IdP IdF MPI-Operation Offset tick RequestSize")
+        for rank in ph.ranks:
+            for op in ph.ops:
+                out.append(f"{rank} {ph.file_ids[0] if ph.file_ids else 0} {op.op} "
+                           f"{op.offset_fn(rank)} {int(ph.tick)} {op.request_size}")
+        out.append("")
+    return "\n".join(out)
+
+
+def figure5_global_pattern(bundle: TraceBundle, model: IOModel) -> list[PatternPoint]:
+    """Figs. 5/6/7/9/10: the (tick, process, offset) point cloud."""
+    return global_access_pattern(bundle.records, model)
+
+
+def figure8_device_series(monitor: DeviceMonitor, bucket: float = 1.0) -> dict[str, list]:
+    """Fig. 8: per-device sectors/s + %busy series (iostat -x -p 1)."""
+    return {dev: monitor.series(dev, bucket=bucket) for dev in monitor.devices()}
+
+
+def device_series_csv(monitor: DeviceMonitor, bucket: float = 1.0) -> str:
+    """CSV export of every device's iostat-like series (Fig. 8 data)."""
+    lines = ["device,time,wsec_per_s,rsec_per_s,busy_pct"]
+    for dev in monitor.devices():
+        for row in monitor.series(dev, bucket=bucket):
+            lines.append(f"{dev},{row.time:.1f},{row.sectors_written_per_s:.0f},"
+                         f"{row.sectors_read_per_s:.0f},{row.busy_fraction * 100:.0f}")
+    return "\n".join(lines) + "\n"
+
+
+def device_series_ascii(monitor: DeviceMonitor, device: str, bucket: float = 1.0,
+                        width: int = 64) -> str:
+    """Terminal sparkline of one device's write activity over time."""
+    rows = monitor.series(device, bucket=bucket)
+    if not rows:
+        return f"{device}: (no activity)"
+    peak = max(r.sectors_written_per_s + r.sectors_read_per_s for r in rows) or 1.0
+    # Downsample to `width` columns.
+    out = [f"{device}: sectors/s over time (peak {peak:.0f}/s)"]
+    step = max(1, len(rows) // width)
+    marks = []
+    levels = " .:-=+*#%@"
+    for i in range(0, len(rows), step):
+        chunk = rows[i:i + step]
+        v = max(r.sectors_written_per_s + r.sectors_read_per_s for r in chunk)
+        marks.append(levels[min(len(levels) - 1, int(v / peak * (len(levels) - 1)))])
+    out.append("".join(marks))
+    return "\n".join(out)
+
+
+def save_figure_artifacts(directory: str | Path, name: str, *,
+                          bundle: TraceBundle | None = None,
+                          model: IOModel | None = None,
+                          monitor: DeviceMonitor | None = None) -> list[Path]:
+    """Write the CSV/text artifacts for one figure into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    if bundle is not None and model is not None:
+        points = figure5_global_pattern(bundle, model)
+        path = directory / f"{name}.global_pattern.csv"
+        path.write_text(to_csv(points))
+        written.append(path)
+        path = directory / f"{name}.global_pattern.txt"
+        path.write_text(ascii_plot(points))
+        written.append(path)
+    if monitor is not None:
+        path = directory / f"{name}.devices.csv"
+        path.write_text(device_series_csv(monitor))
+        written.append(path)
+    return written

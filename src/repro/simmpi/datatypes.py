@@ -1,0 +1,287 @@
+"""MPI datatype subset used for file views.
+
+The reproduction needs just enough of the MPI datatype machinery to model
+the file views that the paper's workloads use:
+
+* contiguous etypes (``Basic``/``Contiguous``),
+* strided views (``Vector``) -- the 4-process example of Figs. 2-5, and
+* nested strided views (vector of vectors) -- NAS BT-IO's datatype.
+
+A datatype is described by its *size* (bytes of actual data per instance),
+its *extent* (bytes of file it spans per instance) and its ``segments()``
+-- the contiguous (offset, length) data runs inside one extent.  A file
+view (``FileView``) tiles the filetype from a displacement and maps
+view-relative byte offsets (what MPI-IO calls and the paper's traces use)
+to absolute file byte ranges (what the I/O subsystem sees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import MPIUsageError
+
+
+class Datatype:
+    """Base class for the datatype subset.
+
+    Subclasses define :attr:`size`, :attr:`extent` and :meth:`segments`.
+    """
+
+    size: int
+    extent: int
+
+    @property
+    def is_dense(self) -> bool:
+        """True when the type is one gap-free run of bytes."""
+        return self.size == self.extent
+
+    def segments(self) -> list[tuple[int, int]]:
+        """Contiguous ``(offset_in_extent, length)`` data runs, sorted."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(size={self.size}, extent={self.extent})"
+
+
+class Basic(Datatype):
+    """An elementary type of ``nbytes`` bytes (e.g. MPI_DOUBLE = Basic(8))."""
+
+    def __init__(self, nbytes: int, name: str = "byte"):
+        if nbytes <= 0:
+            raise MPIUsageError(f"basic datatype must be positive, got {nbytes}")
+        self.size = nbytes
+        self.extent = nbytes
+        self.name = name
+
+    def segments(self) -> list[tuple[int, int]]:
+        return [(0, self.size)]
+
+
+#: One byte -- the default etype.
+BYTE = Basic(1, "byte")
+#: Eight bytes -- MPI_DOUBLE, used by BT-IO (5 doubles per mesh point).
+DOUBLE = Basic(8, "double")
+
+
+class Contiguous(Datatype):
+    """``count`` repetitions of ``base`` with no gaps."""
+
+    def __init__(self, count: int, base: Datatype = BYTE):
+        if count <= 0:
+            raise MPIUsageError(f"contiguous count must be positive, got {count}")
+        self.count = count
+        self.base = base
+        self.size = count * base.size
+        self.extent = count * base.extent
+
+    def segments(self) -> list[tuple[int, int]]:
+        if self.base.is_dense:
+            return [(0, self.size)]
+        segs: list[tuple[int, int]] = []
+        for i in range(self.count):
+            for off, ln in self.base.segments():
+                segs.append((i * self.base.extent + off, ln))
+        return _coalesce(segs)
+
+
+class Vector(Datatype):
+    """``count`` blocks of ``blocklen`` base elements, ``stride`` elements apart.
+
+    Mirrors ``MPI_Type_vector``: stride is measured in *base extents*.  The
+    datatype's extent runs to the end of the last block (MPI semantics for
+    the significant extent; resizing is expressed with :class:`Resized`).
+    """
+
+    def __init__(self, count: int, blocklen: int, stride: int, base: Datatype = BYTE):
+        if count <= 0 or blocklen <= 0:
+            raise MPIUsageError("vector count/blocklen must be positive")
+        if stride < blocklen:
+            raise MPIUsageError(
+                f"vector stride ({stride}) must be >= blocklen ({blocklen})"
+            )
+        self.count = count
+        self.blocklen = blocklen
+        self.stride = stride
+        self.base = base
+        self.size = count * blocklen * base.size
+        self.extent = ((count - 1) * stride + blocklen) * base.extent
+
+    def segments(self) -> list[tuple[int, int]]:
+        if self.base.is_dense:
+            block_bytes = self.blocklen * self.base.extent
+            stride_bytes = self.stride * self.base.extent
+            return _coalesce([(i * stride_bytes, block_bytes) for i in range(self.count)])
+        segs: list[tuple[int, int]] = []
+        block = Contiguous(self.blocklen, self.base)
+        for i in range(self.count):
+            start = i * self.stride * self.base.extent
+            for off, ln in block.segments():
+                segs.append((start + off, ln))
+        return _coalesce(segs)
+
+
+class Subarray(Datatype):
+    """An n-dimensional subarray (``MPI_Type_create_subarray``).
+
+    Describes a process's block of a global C-ordered array -- the
+    datatype real BT-IO builds for its 3-D solution dumps.  ``sizes``
+    are the global array dimensions (in base elements), ``subsizes`` the
+    local block, ``starts`` its origin.  The resulting segments are the
+    contiguous rows of the block laid into the global array.
+    """
+
+    def __init__(self, sizes: tuple[int, ...], subsizes: tuple[int, ...],
+                 starts: tuple[int, ...], base: Datatype = BYTE):
+        if not sizes or len(sizes) != len(subsizes) or len(sizes) != len(starts):
+            raise MPIUsageError("sizes/subsizes/starts must be same-length, non-empty")
+        for dim, (n, sub, s0) in enumerate(zip(sizes, subsizes, starts)):
+            if n <= 0 or sub <= 0 or s0 < 0 or s0 + sub > n:
+                raise MPIUsageError(
+                    f"subarray dim {dim}: block [{s0}, {s0 + sub}) outside [0, {n})")
+        self.sizes = tuple(sizes)
+        self.subsizes = tuple(subsizes)
+        self.starts = tuple(starts)
+        self.base = base
+        nelems_global = 1
+        nelems_local = 1
+        for n, sub in zip(sizes, subsizes):
+            nelems_global *= n
+            nelems_local *= sub
+        self.size = nelems_local * base.size
+        # MPI semantics: the extent of a subarray type is the whole array.
+        self.extent = nelems_global * base.extent
+
+    def segments(self) -> list[tuple[int, int]]:
+        if not self.base.is_dense:
+            raise MPIUsageError("subarray over sparse base types is unsupported")
+        eb = self.base.extent  # bytes per element
+        # Row length: the innermost dimension's contiguous run.
+        row_elems = self.subsizes[-1]
+        # Strides (in elements) of each dimension in the global array.
+        strides = [1] * len(self.sizes)
+        for d in range(len(self.sizes) - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.sizes[d + 1]
+        # Enumerate all rows of the block (outer dims cartesian product).
+        segs: list[tuple[int, int]] = []
+
+        def walk(dim: int, offset_elems: int) -> None:
+            if dim == len(self.sizes) - 1:
+                segs.append(((offset_elems + self.starts[-1]) * eb,
+                             row_elems * eb))
+                return
+            for i in range(self.subsizes[dim]):
+                walk(dim + 1,
+                     offset_elems + (self.starts[dim] + i) * strides[dim])
+
+        walk(0, 0)
+        return _coalesce(segs)
+
+
+class Resized(Datatype):
+    """A datatype with an overridden extent (``MPI_Type_create_resized``)."""
+
+    def __init__(self, base: Datatype, extent: int):
+        if extent < base.extent:
+            raise MPIUsageError("resized extent must not truncate the base type")
+        self.base = base
+        self.size = base.size
+        self.extent = extent
+
+    def segments(self) -> list[tuple[int, int]]:
+        return self.base.segments()
+
+
+def _coalesce(segs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge adjacent/overlapping (offset, length) runs; returns sorted runs."""
+    if not segs:
+        return []
+    segs = sorted(segs)
+    out = [segs[0]]
+    for off, ln in segs[1:]:
+        last_off, last_ln = out[-1]
+        if off <= last_off + last_ln:
+            out[-1] = (last_off, max(last_off + last_ln, off + ln) - last_off)
+        else:
+            out.append((off, ln))
+    return out
+
+
+@dataclass(frozen=True)
+class FileView:
+    """A process's view of a file: displacement + etype + tiled filetype."""
+
+    disp: int = 0
+    etype: Datatype = BYTE
+    filetype: Datatype = BYTE
+
+    def __post_init__(self) -> None:
+        if self.disp < 0:
+            raise MPIUsageError(f"view displacement must be >= 0, got {self.disp}")
+        if self.filetype.size % self.etype.size != 0:
+            raise MPIUsageError("filetype size must be a multiple of etype size")
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the view maps view offsets 1:1 onto file offsets."""
+        return self.filetype.size == self.filetype.extent
+
+    def _segments_cached(self) -> list[tuple[int, int]]:
+        """Filetype segments, computed once per view (views are frozen)."""
+        segs = getattr(self, "_segs", None)
+        if segs is None:
+            segs = self.filetype.segments()
+            object.__setattr__(self, "_segs", segs)
+        return segs
+
+    def map_range(self, view_offset: int, nbytes: int) -> list[tuple[int, int]]:
+        """Map ``nbytes`` at view-relative byte ``view_offset`` to absolute runs.
+
+        Returns a coalesced, sorted list of absolute ``(offset, length)``
+        byte ranges.  This is what the I/O subsystem simulator consumes to
+        judge contiguity and striding of an access.
+        """
+        if view_offset < 0 or nbytes < 0:
+            raise MPIUsageError("view offset and length must be non-negative")
+        if nbytes == 0:
+            return []
+        if self.is_contiguous:
+            return [(self.disp + view_offset, nbytes)]
+
+        ft = self.filetype
+        tile_size = ft.size
+        # Tiling uses the filetype extent per repetition (MPI semantics).
+        tile_extent = ft.extent
+        segs = self._segments_cached()
+        runs: list[tuple[int, int]] = []
+        remaining = nbytes
+        pos = view_offset  # byte position in the data (view) space
+        while remaining > 0:
+            tile, in_tile = divmod(pos, tile_size)
+            base = self.disp + tile * tile_extent
+            consumed_in_tile = 0
+            for seg_off, seg_len in segs:
+                if remaining <= 0:
+                    break
+                if consumed_in_tile + seg_len <= in_tile:
+                    consumed_in_tile += seg_len
+                    continue
+                skip = max(0, in_tile - consumed_in_tile)
+                take = min(seg_len - skip, remaining)
+                runs.append((base + seg_off + skip, take))
+                remaining -= take
+                consumed_in_tile += seg_len
+                in_tile = consumed_in_tile
+            pos = (tile + 1) * tile_size
+            in_tile = 0
+        return _coalesce(runs)
+
+    def extent_of(self, view_offset: int, nbytes: int) -> tuple[int, int]:
+        """Absolute (first_byte, last_byte_exclusive) spanned by an access."""
+        runs = self.map_range(view_offset, nbytes)
+        if not runs:
+            at = self.map_range(view_offset, 1)
+            start = at[0][0] if at else self.disp
+            return (start, start)
+        return (runs[0][0], runs[-1][0] + runs[-1][1])

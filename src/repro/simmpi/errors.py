@@ -1,0 +1,42 @@
+"""Error types raised by the simulated MPI runtime.
+
+The hierarchy mirrors the MPI error classes that matter for the
+reproduction: misuse of the API (``MPIUsageError``), collective-call
+mismatches that would deadlock a real MPI program (``CollectiveMismatch``
+/ ``DeadlockError``), and file-level errors (``MPIFileError``).
+"""
+
+from __future__ import annotations
+
+
+class SimMPIError(Exception):
+    """Base class for all simulated-MPI errors."""
+
+
+class MPIUsageError(SimMPIError):
+    """An API was called with invalid arguments (wrong rank, bad count, ...)."""
+
+
+class DeadlockError(SimMPIError):
+    """The scheduler found no runnable rank while ranks are still blocked.
+
+    This is the simulated equivalent of an MPI program hanging forever,
+    e.g. because only a subset of a communicator entered a collective.
+    """
+
+
+class CollectiveMismatch(SimMPIError):
+    """Ranks of one communicator disagree on the collective being executed."""
+
+
+class MPIFileError(SimMPIError):
+    """Error raised by the MPI-IO layer (bad offset, closed file, ...)."""
+
+
+class RankFailedError(SimMPIError):
+    """A rank program raised an exception; carries the original traceback."""
+
+    def __init__(self, rank: int, original: BaseException):
+        self.rank = rank
+        self.original = original
+        super().__init__(f"rank {rank} failed: {original!r}")

@@ -1,0 +1,31 @@
+"""PAS2P-style MPI-IO tracing tool (paper section III-A.1).
+
+Produces per-process trace files in the paper's Fig. 2 format and the
+application metadata (pointer kinds, collective usage, access mode and
+type, etype size) that the I/O abstract model's *metadata* component
+reports.
+"""
+
+from .hooks import TraceBundle, Tracer, trace_run
+from .metadata import AppMetadata, FileMetadataSummary, summarize_file
+from .tracefile import (
+    HEADER,
+    TraceRecord,
+    iter_by_rank,
+    read_trace_file,
+    write_trace_file,
+)
+
+__all__ = [
+    "AppMetadata",
+    "FileMetadataSummary",
+    "HEADER",
+    "TraceBundle",
+    "TraceRecord",
+    "Tracer",
+    "iter_by_rank",
+    "read_trace_file",
+    "summarize_file",
+    "trace_run",
+    "write_trace_file",
+]

@@ -1,0 +1,118 @@
+"""Per-file access metadata captured by the tracer.
+
+The paper's model has three parts -- *metadata*, spatial global pattern,
+temporal global pattern.  The metadata is what section IV reports for
+MADbench2 and BT-IO::
+
+    - Individual file pointers, Non-collective I/O, Blocking I/O
+    - Sequential access mode, Shared access type
+    - (BT-IO) Explicit offset, Collective operations, Strided access
+      mode, MPI_File_set_view with etype of 40, request size 10 MB
+
+:class:`AppMetadata` aggregates the per-file flags the MPI-IO layer
+accumulated during a traced run into exactly those statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simmpi.engine import Engine
+from repro.simmpi.fileio import SimFile
+
+
+@dataclass(frozen=True)
+class FileMetadataSummary:
+    """Digest of one file's access metadata."""
+
+    filename: str
+    file_id: int
+    pointer_kinds: tuple[str, ...]  # explicit / individual / shared
+    collective: bool
+    noncollective: bool
+    access_mode: str  # "sequential" | "strided"
+    access_type: str  # "shared" | "unique"
+    etype_size: int
+    size_bytes: int
+    openers: int
+    nonblocking: bool = False
+
+    def statements(self) -> list[str]:
+        """Human-readable bullet list, phrased like the paper's section IV."""
+        ptr = {
+            "explicit": "Explicit offset",
+            "individual": "Individual file pointers",
+            "shared": "Shared file pointers",
+        }
+        out = [", ".join(ptr[p] for p in self.pointer_kinds)]
+        blocking = ("Blocking and non-blocking I/O operations"
+                    if self.nonblocking else "Blocking I/O operations")
+        if self.collective and not self.noncollective:
+            out.append(f"Collective operations, {blocking}")
+        elif self.collective:
+            out.append(f"Collective and non-collective I/O, {blocking}")
+        else:
+            out.append(f"Non-collective I/O operations, {blocking}")
+        out.append(f"{self.access_mode.capitalize()} access mode, "
+                   f"{self.access_type.capitalize()} access type")
+        if self.access_mode == "strided":
+            out.append(f"MPI-IO routine MPI_File_set_view with etype of {self.etype_size}")
+        return out
+
+
+@dataclass
+class AppMetadata:
+    """Metadata for every file an application touched."""
+
+    files: list[FileMetadataSummary] = field(default_factory=list)
+
+    @classmethod
+    def from_engine(cls, engine: Engine) -> "AppMetadata":
+        summaries = []
+        for name in sorted(engine.files, key=lambda n: engine.files[n].file_id):
+            summaries.append(summarize_file(engine.files[name]))
+        return cls(files=summaries)
+
+    def by_file_id(self, file_id: int) -> FileMetadataSummary:
+        for f in self.files:
+            if f.file_id == file_id:
+                return f
+        raise KeyError(f"no file with id {file_id}")
+
+    def to_dict(self) -> dict:
+        return {"files": [vars(f) | {"pointer_kinds": list(f.pointer_kinds)}
+                          for f in self.files]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AppMetadata":
+        files = []
+        for d in data["files"]:
+            d = dict(d)
+            d["pointer_kinds"] = tuple(d["pointer_kinds"])
+            files.append(FileMetadataSummary(**d))
+        return cls(files=files)
+
+
+def summarize_file(simfile: SimFile) -> FileMetadataSummary:
+    """Digest one simulated file's accumulated access flags."""
+    meta = simfile.meta
+    kinds = []
+    if meta.used_explicit_offset:
+        kinds.append("explicit")
+    if meta.used_individual_pointer:
+        kinds.append("individual")
+    if meta.used_shared_pointer:
+        kinds.append("shared")
+    return FileMetadataSummary(
+        filename=simfile.name,
+        file_id=simfile.file_id,
+        pointer_kinds=tuple(kinds),
+        collective=meta.used_collective,
+        noncollective=meta.used_noncollective,
+        nonblocking=meta.used_nonblocking,
+        access_mode=meta.access_mode,
+        access_type=meta.access_type,
+        etype_size=meta.etype_size,
+        size_bytes=simfile.size,
+        openers=len(simfile.openers),
+    )

@@ -1,0 +1,110 @@
+"""The paper's trace-file format (Fig. 2): writer and parser.
+
+One trace file per MPI process, one row per I/O operation::
+
+    IdP IdF MPI-Operation Offset tick RequestSize time duration AbsOffset
+
+Offsets are view-relative etype offsets, request sizes are bytes, time
+and duration are seconds -- exactly the columns of Fig. 2.  One column
+is added to the paper's format: ``AbsOffset``, the absolute file offset
+of the first accessed byte (the paper derives it from the view metadata
+when building the global logical view; carrying it in the trace makes
+the f(initOffset) fit explicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.simmpi.fileio import IOEvent
+
+HEADER = "IdP IdF MPI-Operation Offset tick RequestSize time duration AbsOffset"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One row of a trace file."""
+
+    rank: int
+    file_id: int
+    op: str
+    offset: int
+    tick: int
+    request_size: int
+    time: float
+    duration: float
+    abs_offset: int
+
+    @classmethod
+    def from_event(cls, event: IOEvent) -> "TraceRecord":
+        return cls(
+            rank=event.rank,
+            file_id=event.file_id,
+            op=event.op,
+            offset=event.offset,
+            tick=event.tick,
+            request_size=event.request_size,
+            time=event.time,
+            duration=event.duration,
+            abs_offset=event.abs_offset,
+        )
+
+    def to_line(self) -> str:
+        return (f"{self.rank} {self.file_id} {self.op} {self.offset} "
+                f"{self.tick} {self.request_size} {self.time:.6f} "
+                f"{self.duration:.6f} {self.abs_offset}")
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        parts = line.split()
+        if len(parts) not in (8, 9):
+            raise ValueError(f"malformed trace line ({len(parts)} fields): {line!r}")
+        return cls(
+            rank=int(parts[0]),
+            file_id=int(parts[1]),
+            op=parts[2],
+            offset=int(parts[3]),
+            tick=int(parts[4]),
+            request_size=int(parts[5]),
+            time=float(parts[6]),
+            duration=float(parts[7]),
+            abs_offset=int(parts[8]) if len(parts) == 9 else int(parts[3]),
+        )
+
+    @property
+    def kind(self) -> str:
+        """"write" or "read", derived from the MPI routine name."""
+        return "write" if "write" in self.op else "read"
+
+
+def write_trace_file(path: str | Path, records: Iterable[TraceRecord]) -> None:
+    """Write one process's trace file (``traceFile_(p)`` in Table I)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as f:
+        f.write(HEADER + "\n")
+        for rec in records:
+            f.write(rec.to_line() + "\n")
+
+
+def read_trace_file(path: str | Path) -> list[TraceRecord]:
+    """Parse a trace file written by :func:`write_trace_file`."""
+    records = []
+    with Path(path).open() as f:
+        for i, line in enumerate(f):
+            line = line.strip()
+            if not line or (i == 0 and line.startswith("IdP")):
+                continue
+            records.append(TraceRecord.from_line(line))
+    return records
+
+
+def iter_by_rank(records: Iterable[TraceRecord]) -> Iterator[tuple[int, list[TraceRecord]]]:
+    """Group records by rank (idP), preserving per-rank order."""
+    by_rank: dict[int, list[TraceRecord]] = {}
+    for rec in records:
+        by_rank.setdefault(rec.rank, []).append(rec)
+    for rank in sorted(by_rank):
+        yield rank, by_rank[rank]

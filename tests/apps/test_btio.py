@@ -1,0 +1,119 @@
+"""NAS BT-IO: classes, phase counts, offset formulas, metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.btio import (
+    BTIOParams,
+    CLASSES,
+    btio_program,
+    expected_phase_count,
+    validate_np,
+)
+from repro.core.model import IOModel
+from repro.simmpi.errors import MPIUsageError
+from repro.tracer import trace_run
+
+
+@pytest.fixture(scope="module")
+def model_a4() -> IOModel:
+    """Class A on 4 procs: small and fast, same structure as C/D."""
+    bundle = trace_run(btio_program, 4, None,
+                       BTIOParams(cls="A", comm_events_per_step=4))
+    return IOModel.from_trace(bundle, app_name="btio-A")
+
+
+class TestParameters:
+    def test_classes(self):
+        assert set(CLASSES) == {"A", "B", "C", "D"}
+        assert BTIOParams(cls="C").ndumps == 40
+        assert BTIOParams(cls="D").ndumps == 50
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(MPIUsageError):
+            BTIOParams(cls="Z")
+
+    def test_unknown_subtype_rejected(self):
+        with pytest.raises(MPIUsageError):
+            BTIOParams(subtype="epio")
+
+    def test_square_np_required(self):
+        assert validate_np(16) == 4
+        with pytest.raises(MPIUsageError):
+            validate_np(10)
+
+    def test_paper_request_size(self):
+        """Class C on 16 procs: ~10 MB per process per dump."""
+        rs = BTIOParams(cls="C").request_size(16)
+        assert 10_000_000 < rs < 11_000_000
+        assert rs % 40 == 0  # whole mesh points
+
+    def test_expected_phase_count(self):
+        assert expected_phase_count(BTIOParams(cls="C")) == 41
+        assert expected_phase_count(BTIOParams(cls="D")) == 51
+
+
+class TestModel:
+    def test_phase_count(self, model_a4):
+        assert model_a4.nphases == 41
+
+    def test_write_phases_then_read_phase(self, model_a4):
+        labels = [ph.op_label for ph in model_a4.phases]
+        assert labels[:40] == ["W"] * 40
+        assert labels[40] == "R"
+        assert model_a4.phases[40].rep == 40
+
+    def test_table_xi_offset_formula(self, model_a4):
+        """initOffset = rs*idP + rs*(ph-1)*np (absolute bytes)."""
+        rs = BTIOParams(cls="A").request_size(4)
+        for ph_num in (1, 2, 40):
+            ph = model_a4.phases[ph_num - 1]
+            fn = ph.ops[0].abs_offset_fn
+            assert fn.slope == rs
+            assert fn.intercept == rs * (ph_num - 1) * 4
+
+    def test_read_phase_starts_at_first_dump(self, model_a4):
+        fn = model_a4.phases[40].ops[0].abs_offset_fn
+        assert fn.intercept == 0
+        rs = BTIOParams(cls="A").request_size(4)
+        assert fn.slope == rs
+
+    def test_weights_uniform_across_write_phases(self, model_a4):
+        weights = {ph.weight for ph in model_a4.phases[:40]}
+        assert len(weights) == 1
+        rs = BTIOParams(cls="A").request_size(4)
+        assert weights == {4 * rs}
+
+    def test_metadata_bullets(self, model_a4):
+        (f,) = model_a4.metadata.files
+        text = " ".join(f.statements())
+        assert "Explicit offset" in text
+        assert "Collective operations" in text
+        assert "Strided access mode" in text
+        assert "etype of 40" in text
+
+    def test_collective_flag(self, model_a4):
+        assert all(ph.collective for ph in model_a4.phases)
+
+
+class TestSubtypes:
+    def test_simple_subtype_noncollective(self):
+        bundle = trace_run(btio_program, 4, None,
+                           BTIOParams(cls="A", subtype="simple",
+                                      comm_events_per_step=2))
+        model = IOModel.from_trace(bundle)
+        assert not any(ph.collective for ph in model.phases)
+
+    def test_same_model_on_different_np(self):
+        """The paper: same model shape for 36/64/121 procs, only weights change."""
+        models = {}
+        for np_ in (4, 9):
+            bundle = trace_run(btio_program, np_, None,
+                               BTIOParams(cls="A", comm_events_per_step=2))
+            models[np_] = IOModel.from_trace(bundle)
+        assert models[4].nphases == models[9].nphases == 41
+        rs4 = BTIOParams(cls="A").request_size(4)
+        rs9 = BTIOParams(cls="A").request_size(9)
+        assert models[4].phases[0].weight == 4 * rs4
+        assert models[9].phases[0].weight == 9 * rs9

@@ -1,0 +1,104 @@
+"""IOR reimplementation: layout, options, bandwidth reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ior import IORParams, ior_program, run_ior
+from repro.simmpi import Engine, IdealPlatform, MPIUsageError
+
+from tests.conftest import make_nfs_cluster
+
+MB = 1024 * 1024
+
+
+def traced_events(params):
+    events = []
+    engine = Engine(params.np, platform=IdealPlatform())
+    engine.add_io_hook(events.append)
+    engine.run(ior_program, params)
+    return events, engine
+
+
+class TestValidation:
+    def test_block_must_be_multiple_of_transfer(self):
+        with pytest.raises(MPIUsageError):
+            IORParams(block_size=10, transfer_size=3)
+
+    def test_positive_np(self):
+        with pytest.raises(MPIUsageError):
+            IORParams(np=0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(MPIUsageError):
+            IORParams(kinds=("append",))
+
+
+class TestLayout:
+    def test_shared_file_segment_major_interleave(self):
+        params = IORParams(np=2, block_size=4 * MB, transfer_size=2 * MB,
+                           segments=2, kinds=("write",))
+        events, engine = traced_events(params)
+        # process p, segment s block at (s*np + p) * b
+        offsets = sorted(e.abs_offset for e in events)
+        expected = sorted((s * 2 + p) * 4 * MB + i * 2 * MB
+                          for p in range(2) for s in range(2) for i in range(2))
+        assert offsets == expected
+        assert len(engine.files) == 1
+
+    def test_file_per_process(self):
+        params = IORParams(np=3, block_size=MB, transfer_size=MB,
+                           file_per_process=True, kinds=("write",))
+        _, engine = traced_events(params)
+        assert len(engine.files) == 3
+        assert all(f.unique for f in engine.files.values())
+
+    def test_collective_flag_uses_all_ops(self):
+        params = IORParams(np=2, block_size=MB, transfer_size=MB,
+                           collective=True, kinds=("write", "read"))
+        events, _ = traced_events(params)
+        assert all(e.collective for e in events)
+        assert {e.op for e in events} == {
+            "MPI_File_write_at_all", "MPI_File_read_at_all"}
+
+    def test_random_offsets_permute_within_block(self):
+        params = IORParams(np=1, block_size=8 * MB, transfer_size=MB,
+                           random_offsets=True, kinds=("write",))
+        events, _ = traced_events(params)
+        offsets = [e.abs_offset for e in events]
+        assert sorted(offsets) == [i * MB for i in range(8)]
+        assert offsets != sorted(offsets)  # actually shuffled
+
+    def test_random_offsets_deterministic(self):
+        params = IORParams(np=2, block_size=4 * MB, transfer_size=MB,
+                           random_offsets=True, kinds=("write",))
+        e1, _ = traced_events(params)
+        e2, _ = traced_events(params)
+        assert [x.abs_offset for x in e1] == [x.abs_offset for x in e2]
+
+
+class TestResults:
+    def test_bandwidths_reported_per_kind(self):
+        params = IORParams(np=2, block_size=8 * MB, transfer_size=4 * MB)
+        result = run_ior(make_nfs_cluster(), params)
+        assert set(result.bw_mb_s) == {"write", "read"}
+        assert result.bw("write") > 0 and result.bw("read") > 0
+        assert result.elapsed > 0
+
+    def test_write_only(self):
+        params = IORParams(np=2, block_size=MB, transfer_size=MB,
+                           kinds=("write",))
+        result = run_ior(make_nfs_cluster(), params)
+        assert "read" not in result.bw_mb_s
+
+    def test_total_bytes_accounting(self):
+        params = IORParams(np=4, block_size=2 * MB, transfer_size=MB,
+                           segments=3)
+        assert params.total_bytes_per_kind == 4 * 3 * 2 * MB
+        assert params.transfers_per_segment == 2
+
+    def test_command_line(self):
+        params = IORParams(np=2, block_size=2 * MB, transfer_size=MB,
+                           file_per_process=True, random_offsets=True)
+        cmd = params.command_line()
+        assert "-F" in cmd and "-z" in cmd and "-a MPIIO" in cmd

@@ -1,0 +1,76 @@
+"""IOzone device-level characterization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.iozone import IOzoneParams, characterize_peaks, run_iozone
+from repro.iosim import EXT4, JBOD, Disk, DiskSpec, IONode, LocalFS
+
+
+def make_ion(write_bw=100.0, read_bw=110.0, ram_gb=0.25) -> IONode:
+    disk = Disk("d", DiskSpec(seq_write_bw=write_bw, seq_read_bw=read_bw))
+    fs = LocalFS("fs", JBOD("j", [disk]), EXT4, cache_mb=64.0)
+    return IONode.make("ion", fs, ram_gb=ram_gb)
+
+
+SMALL = IOzoneParams(file_size_mb=64, request_sizes_kb=(256, 1024),
+                     max_ops_per_cell=256)
+
+
+class TestGrid:
+    def test_covers_all_cells(self):
+        res = run_iozone(make_ion(), SMALL)
+        assert len(res.grid) == 3 * 2 * 2  # patterns x kinds x sizes
+        assert all(v > 0 for v in res.grid.values())
+
+    def test_default_file_size_is_2x_ram(self):
+        params = IOzoneParams()
+        assert params.resolved_file_size_mb(make_ion(ram_gb=1.0)) == 2048
+
+    def test_sequential_fastest_random_slowest(self):
+        res = run_iozone(make_ion(), SMALL)
+        for kind in ("write", "read"):
+            seq = res.bw("sequential", kind, 1024)
+            rnd = res.bw("random", kind, 1024)
+            assert seq >= rnd
+
+    def test_larger_requests_not_slower(self):
+        res = run_iozone(make_ion(), SMALL)
+        assert res.bw("sequential", "write", 1024) >= \
+            res.bw("sequential", "write", 256) * 0.95
+
+
+class TestPeaks:
+    def test_peak_below_media_rate(self):
+        res = run_iozone(make_ion(write_bw=100.0), SMALL)
+        peak = res.peak_bw("write")
+        assert 50.0 < peak <= 100.0  # journal + latency keep it below media
+
+    def test_peak_reflects_disk_speed(self):
+        slow = run_iozone(make_ion(write_bw=50.0), SMALL).peak_bw("write")
+        fast = run_iozone(make_ion(write_bw=150.0), SMALL).peak_bw("write")
+        assert fast > slow * 2
+
+    def test_unknown_kind_rejected(self):
+        res = run_iozone(make_ion(), SMALL)
+        with pytest.raises(ValueError):
+            res.peak_bw("append")
+
+    def test_characterize_peaks_shape(self):
+        ions = [make_ion(), make_ion()]
+        ions[1].name = "ion2"
+        peaks = characterize_peaks(ions, SMALL)
+        assert set(peaks) == {"ion", "ion2"}
+        assert set(peaks["ion"]) == {"write", "read"}
+
+    def test_cache_restored_after_run(self):
+        ion = make_ion()
+        before = ion.fs.cache_mb
+        run_iozone(ion, SMALL)
+        assert ion.fs.cache_mb == before
+
+    def test_rows_sorted(self):
+        res = run_iozone(make_ion(), SMALL)
+        rows = res.rows()
+        assert rows == sorted(rows)

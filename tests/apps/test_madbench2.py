@@ -1,0 +1,113 @@
+"""MADbench2: Table VIII shape, parameters, metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.madbench2 import (
+    MADbench2Params,
+    TABLE_VIII_SHAPE,
+    madbench2_program,
+)
+from repro.core.model import IOModel
+from repro.simmpi.errors import MPIUsageError
+from repro.tracer import trace_run
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def model() -> IOModel:
+    bundle = trace_run(madbench2_program, 16, None, MADbench2Params())
+    return IOModel.from_trace(bundle, app_name="madbench2")
+
+
+class TestParameters:
+    def test_paper_request_size(self):
+        """16 procs, 8KPIX -> 32 MB per-process slice."""
+        assert MADbench2Params(kpix=8).request_size(16) == 32 * MB
+
+    def test_square_process_count_required(self):
+        with pytest.raises(MPIUsageError):
+            trace_run(madbench2_program, 6, None, MADbench2Params())
+
+    def test_indivisible_matrix_rejected(self):
+        with pytest.raises(MPIUsageError):
+            MADbench2Params(kpix=1).request_size(7**2)
+
+
+class TestTableVIII(object):
+    def test_five_phases(self, model):
+        assert model.nphases == 5
+
+    def test_phase_shapes(self, model):
+        np_, rs = 16, 32 * MB
+        for ph, (label, kinds, rep, weight_units) in zip(
+                model.phases, TABLE_VIII_SHAPE):
+            assert ph.kinds == tuple(sorted(kinds))
+            assert ph.rep == rep
+            # weight = np * rep * rs per unit operation; the shape table
+            # records it in units of np * rs.
+            assert ph.weight == np_ * rep * rs * len(kinds)
+            assert ph.weight == weight_units * np_ * rs
+
+    def test_weights_gb(self, model):
+        gb = 1024 * MB
+        assert [ph.weight // gb for ph in model.phases] == [4, 1, 6, 1, 4]
+
+    def test_init_offsets(self, model):
+        rs = 32 * MB
+        # Phases 1, 2, 3(write), 5 start at idP * 8 * rs.
+        for idx in (0, 1, 4):
+            fn = model.phases[idx].ops[0].abs_offset_fn
+            assert fn.slope == 8 * rs and fn.intercept == 0
+        # Phase 3's read op runs 2 bins ahead.
+        wr = model.phases[2]
+        read_op = next(o for o in wr.ops if o.kind == "read")
+        assert read_op.abs_offset_fn.intercept == 2 * rs
+        # Phase 4 writes the last two bins (bins 6..7).
+        fn4 = model.phases[3].ops[0].abs_offset_fn
+        assert fn4.intercept == 6 * rs
+
+    def test_phase3_is_mixed(self, model):
+        assert model.phases[2].op_label == "W-R"
+        assert len(model.phases[2].ops) == 2
+
+    def test_metadata_bullets(self, model):
+        (f,) = model.metadata.files
+        text = " ".join(f.statements())
+        assert "Individual file pointers" in text
+        assert "Non-collective" in text
+        assert "Sequential access mode" in text
+        assert "Shared access type" in text
+
+
+class TestScaling:
+    def test_4_processes(self):
+        bundle = trace_run(madbench2_program, 4, None, MADbench2Params(kpix=4))
+        model = IOModel.from_trace(bundle)
+        assert model.nphases == 5
+        assert all(ph.np == 4 for ph in model.phases)
+
+    def test_total_volume(self, model):
+        # S writes nbin matrices, W reads and writes each, C reads each:
+        # 4 full passes over nbin matrices of npix^2 doubles.
+        matrix = 8192 * 8192 * 8
+        nbin = 8
+        assert model.total_weight == 4 * nbin * matrix
+
+
+class TestMultiGang:
+    def test_multi_gang_same_phases(self):
+        """Gang redistribution changes synchronization, not the I/O model."""
+        single = IOModel.from_trace(
+            trace_run(madbench2_program, 16, None, MADbench2Params(ngang=1)))
+        multi = IOModel.from_trace(
+            trace_run(madbench2_program, 16, None, MADbench2Params(ngang=4)))
+        assert multi.nphases == single.nphases == 5
+        assert [p.weight for p in multi.phases] == \
+            [p.weight for p in single.phases]
+
+    def test_ngang_must_divide_np(self):
+        with pytest.raises(MPIUsageError):
+            trace_run(madbench2_program, 16, None, MADbench2Params(ngang=3))

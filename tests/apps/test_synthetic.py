@@ -1,0 +1,82 @@
+"""The Figs. 2-5 example: exact paper numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.synthetic import (
+    BLOCK_ETYPES,
+    ETYPE_BYTES,
+    REQUEST_SIZE,
+    SyntheticParams,
+    synthetic_program,
+)
+from repro.core.lap import extract_laps
+from repro.core.model import IOModel
+from repro.tracer import trace_run
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return trace_run(synthetic_program, 4, None, SyntheticParams())
+
+
+@pytest.fixture(scope="module")
+def model(bundle):
+    return IOModel.from_trace(bundle, app_name="synthetic")
+
+
+class TestFigure2:
+    def test_trace_numbers(self, bundle):
+        """Offsets step by 265302 etypes; request size 10612080 bytes."""
+        recs = bundle.by_rank(0)
+        writes = [r for r in recs if r.kind == "write"][:4]
+        assert [w.offset for w in writes] == [0, 265302, 530604, 795906]
+        assert all(w.request_size == 10612080 for w in writes)
+        assert all(w.op == "MPI_File_write_at_all" for w in writes)
+
+    def test_tick_gap_between_writes(self, bundle):
+        writes = [r for r in bundle.by_rank(0) if r.kind == "write"]
+        gaps = {b.tick - a.tick for a, b in zip(writes, writes[1:])}
+        assert gaps == {SyntheticParams().comm_events_per_step + 1}
+
+    def test_constants_consistent(self):
+        assert BLOCK_ETYPES * ETYPE_BYTES == REQUEST_SIZE
+
+
+class TestFigure3:
+    def test_lap_compression(self, bundle):
+        entries = extract_laps(bundle.records)
+        reads = [e for e in entries if e.ops[0].kind == "read"]
+        # One 40-rep read LAP per rank (the back-to-back reads).
+        assert len(reads) == 4
+        assert all(e.rep == 40 for e in reads)
+        assert all(e.ops[0].disp == BLOCK_ETYPES for e in reads)
+
+
+class TestFigures4And5:
+    def test_41_phases(self, model):
+        assert model.nphases == 41
+
+    def test_write_phase_weight_40mb(self, model):
+        """The paper: "This phase has weight = 40MB"."""
+        assert model.phases[0].weight == 4 * REQUEST_SIZE
+        assert model.phases[0].weight == pytest.approx(40 * 2**20, rel=0.02)
+
+    def test_strided_spatial_pattern(self, model):
+        """Phase ph starts at idP*rs + np*(ph-1)*rs in absolute bytes."""
+        for ph_num in (1, 2, 3):
+            fn = model.phases[ph_num - 1].ops[0].abs_offset_fn
+            assert fn.slope == REQUEST_SIZE
+            assert fn.intercept == 4 * (ph_num - 1) * REQUEST_SIZE
+
+    def test_read_phase_vertical_line(self, model):
+        last = model.phases[-1]
+        assert last.op_label == "R" and last.rep == 40
+        assert last.weight == 4 * 40 * REQUEST_SIZE
+
+    def test_metadata(self, model):
+        (f,) = model.metadata.files
+        assert f.access_mode == "strided"
+        assert f.etype_size == 40
+        assert f.access_type == "shared"

@@ -1,0 +1,105 @@
+"""The paper's four configurations: structure and calibrated peaks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clusters import (
+    ALL_CONFIGURATIONS,
+    configuration_a,
+    configuration_b,
+    configuration_c,
+    finisterrae,
+)
+from repro.core.estimate import peak_bandwidth
+
+
+class TestInventory:
+    def test_all_four_present(self):
+        assert set(ALL_CONFIGURATIONS) == {
+            "configuration-A", "configuration-B", "configuration-C",
+            "finisterrae"}
+
+    def test_factories_return_fresh_clusters(self):
+        c1, c2 = configuration_a(), configuration_a()
+        assert c1 is not c2
+        assert c1.globalfs is not c2.globalfs
+
+
+class TestConfigurationA:
+    def test_structure(self):
+        c = configuration_a()
+        assert c.globalfs.name == "nfs"
+        assert len(c.globalfs.ions) == 1
+        assert len(c.compute_nodes) == 8
+        volume = c.globalfs.ions[0].fs.volume
+        assert type(volume).__name__ == "RAID5"
+        assert len(volume.disks) == 5
+
+    def test_description_matches_table_vi(self):
+        d = configuration_a().description
+        assert d.global_filesystem == "NFS Ver 3"
+        assert "RAID 5" in d.redundancy
+        assert d.n_devices == 5
+        assert d.mount_point == "/raid/raid5"
+
+    def test_peaks_near_paper(self):
+        """Table IX: BW_PK ~400 write / ~350 read MB/s."""
+        w = peak_bandwidth(configuration_a, "write")
+        r = peak_bandwidth(configuration_a, "read")
+        assert 350 <= w <= 450
+        assert 310 <= r <= 390
+
+
+class TestConfigurationB:
+    def test_structure(self):
+        c = configuration_b()
+        assert c.globalfs.name == "pvfs2"
+        assert len(c.globalfs.ions) == 3
+        for ion in c.globalfs.ions:
+            assert type(ion.fs.volume).__name__ == "JBOD"
+            assert len(ion.fs.volume.disks) == 1
+
+    def test_description_matches_table_vi(self):
+        d = configuration_b().description
+        assert d.global_filesystem == "PVFS2 2.8.2"
+        assert d.redundancy == "JBOD"
+        assert d.n_devices == 3
+
+    def test_peak_is_sum_of_ions(self):
+        """eq. (4): the ideal parallel sum, ~240 MB/s."""
+        w = peak_bandwidth(configuration_b, "write")
+        assert 180 <= w <= 280
+
+
+class TestConfigurationC:
+    def test_structure(self):
+        c = configuration_c()
+        assert c.globalfs.name == "nfs"
+        assert len(c.compute_nodes) == 32
+        assert c.description.io_library == "OpenMPI"
+        assert c.description.mount_point == "/home"
+
+
+class TestFinisterrae:
+    def test_structure(self):
+        c = finisterrae()
+        assert c.globalfs.name == "lustre"
+        assert len(c.globalfs.ions) == 18  # OSS count
+        assert len(c.compute_nodes) == 142
+        assert c.description.n_devices == 866
+
+    def test_infiniband_compute_net(self):
+        c = finisterrae()
+        assert "IB" in c.compute_net.name
+
+    def test_lustre_beats_nfs_for_collective_reads(self):
+        """The Table XII relation that drives the selection."""
+        from repro.apps.ior import IORParams, run_ior
+
+        MB = 1024 * 1024
+        params = IORParams(np=16, block_size=64 * MB, transfer_size=16 * MB,
+                           collective=True, kinds=("read",))
+        bw_c = run_ior(configuration_c(), params).bw("read")
+        bw_ft = run_ior(finisterrae(), params).bw("read")
+        assert bw_ft > bw_c

@@ -1,0 +1,53 @@
+"""Shared fixtures: small clusters and apps sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iosim import (
+    EXT4,
+    GIGABIT_ETHERNET,
+    JBOD,
+    NFS,
+    PVFS2,
+    RAID5,
+    Cluster,
+    ComputeNode,
+    Disk,
+    DiskSpec,
+    IONode,
+    LocalFS,
+)
+
+
+def make_nfs_cluster(n_compute: int = 4, n_disks: int = 5,
+                     cache_mb: float = 64.0) -> Cluster:
+    """A small NFS/RAID5 cluster in the style of configuration A."""
+    disks = [Disk(f"d{i}", DiskSpec()) for i in range(n_disks)]
+    volume = RAID5("vol", disks)
+    fs = LocalFS("fs", volume, EXT4, cache_mb=cache_mb)
+    server = IONode.make("ion0", fs)
+    nodes = [ComputeNode.make(f"cn{i}") for i in range(n_compute)]
+    return Cluster("test-nfs", nodes, NFS(server), GIGABIT_ETHERNET)
+
+
+def make_pvfs_cluster(n_compute: int = 4, n_ions: int = 3,
+                      cache_mb: float = 64.0) -> Cluster:
+    """A small PVFS2/JBOD cluster in the style of configuration B."""
+    ions = []
+    for i in range(n_ions):
+        disk = Disk(f"p{i}", DiskSpec())
+        fs = LocalFS(f"fs{i}", JBOD(f"jbod{i}", [disk]), EXT4, cache_mb=cache_mb)
+        ions.append(IONode.make(f"ion{i}", fs))
+    nodes = [ComputeNode.make(f"cn{i}") for i in range(n_compute)]
+    return Cluster("test-pvfs", nodes, PVFS2(ions), GIGABIT_ETHERNET)
+
+
+@pytest.fixture
+def nfs_cluster() -> Cluster:
+    return make_nfs_cluster()
+
+
+@pytest.fixture
+def pvfs_cluster() -> Cluster:
+    return make_pvfs_cluster()

@@ -1,0 +1,103 @@
+"""f(initOffset) inference: exact linear fits and rendering."""
+
+from __future__ import annotations
+
+import pytest
+from fractions import Fraction
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offsetfn import OffsetFunction, fit_offsets
+
+MB32 = 32 * 1024 * 1024
+
+
+class TestFit:
+    def test_madbench_table_viii(self):
+        """initOffset = idP * 8 * 32MB."""
+        pairs = {p: p * 8 * MB32 for p in range(16)}
+        fn = fit_offsets(pairs)
+        assert fn.is_linear
+        assert fn.slope == 8 * MB32 and fn.intercept == 0
+        assert fn(5) == 5 * 8 * MB32
+        assert fn.expression(rs=MB32) == "idP * 8 * rs"
+
+    def test_intercept_rendering(self):
+        pairs = {p: p * 8 * MB32 + 2 * MB32 for p in range(4)}
+        fn = fit_offsets(pairs)
+        assert fn.expression(rs=MB32) == "idP * 8 * rs + 2 * rs"
+
+    def test_negative_intercept_rendering(self):
+        pairs = {p: p * 4 * MB32 - 2 * MB32 for p in range(1, 5)}
+        fn = fit_offsets(pairs)
+        assert fn.expression(rs=MB32) == "idP * 4 * rs - 2 * rs"
+
+    def test_btio_table_xi(self):
+        """initOffset = rs*idP + rs*(ph-1)*np for phase 3, np=16."""
+        rs, np_, ph = 10_628_800, 16, 3
+        pairs = {p: rs * p + rs * (ph - 1) * np_ for p in range(np_)}
+        fn = fit_offsets(pairs)
+        assert fn.slope == rs
+        assert fn.intercept == rs * (ph - 1) * np_
+        assert fn.expression(rs=rs) == "idP * rs + 32 * rs"
+
+    def test_constant_offsets(self):
+        fn = fit_offsets({p: 777 for p in range(8)})
+        assert fn.is_linear and fn.slope == 0
+        assert fn(3) == 777
+
+    def test_single_pair(self):
+        fn = fit_offsets({2: 100})
+        assert fn.is_linear
+        assert fn(2) == 100
+
+    def test_nonlinear_falls_back_to_table(self):
+        fn = fit_offsets({0: 0, 1: 10, 2: 25})
+        assert not fn.is_linear
+        assert fn(2) == 25
+        with pytest.raises(KeyError):
+            fn(3)
+        assert fn.expression().startswith("table(")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_offsets({})
+
+    def test_fractional_slope_exact(self):
+        # Even-rank-only phase: offsets every 2 ranks.
+        fn = fit_offsets({0: 0, 2: 100, 4: 200})
+        assert fn.is_linear and fn.slope == Fraction(50)
+
+    def test_expression_without_rs(self):
+        fn = fit_offsets({0: 5, 1: 15})
+        assert fn.expression() == "idP * 10 + 5"
+
+    def test_zero_everything(self):
+        fn = fit_offsets({0: 0, 1: 0})
+        assert fn.expression(rs=100) == "0"
+
+
+class TestProperty:
+    @given(
+        slope=st.integers(-10**9, 10**9),
+        intercept=st.integers(0, 10**12),
+        ranks=st.lists(st.integers(0, 200), min_size=2, max_size=32,
+                       unique=True),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_recovers_any_integer_line(self, slope, intercept, ranks):
+        pairs = {r: slope * r + intercept for r in ranks}
+        fn = fit_offsets(pairs)
+        assert fn.is_linear
+        for r in ranks:
+            assert fn(r) == pairs[r]
+        # Extrapolation also follows the line.
+        assert fn(max(ranks) + 1) == slope * (max(ranks) + 1) + intercept
+
+    @given(st.dictionaries(st.integers(0, 50), st.integers(0, 10**9),
+                           min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_fit_always_reproduces_observations(self, pairs):
+        fn = fit_offsets(pairs)
+        for r, off in pairs.items():
+            assert fn(r) == off

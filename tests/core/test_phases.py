@@ -1,0 +1,167 @@
+"""Phase identification: similarity, weights, subsets, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lap import extract_laps
+from repro.core.phases import (
+    Phase,
+    file_groups_from_metadata,
+    identify_phases,
+    merge_adjacent_phases,
+)
+from repro.tracer.metadata import AppMetadata, FileMetadataSummary
+from repro.tracer.tracefile import TraceRecord
+
+
+def rec(rank, op, offset, tick, rs=100, fid=0, dur=0.01):
+    return TraceRecord(rank=rank, file_id=fid, op=op, offset=offset,
+                       tick=tick, request_size=rs, time=float(tick),
+                       duration=dur, abs_offset=offset)
+
+
+def spmd_records(np_=4, nrep=3, rs=100, op="MPI_File_write_at_all",
+                 tick0=1, adjacent=True):
+    """All ranks do nrep ops at per-rank offsets."""
+    out = []
+    for r in range(np_):
+        tick = tick0
+        for k in range(nrep):
+            out.append(rec(r, op, r * nrep * rs + k * rs, tick, rs))
+            tick += 1 if adjacent else 50
+    return out
+
+
+class TestIdentification:
+    def test_single_phase_all_ranks(self):
+        entries = extract_laps(spmd_records(np_=4, nrep=5))
+        phases = identify_phases(entries)
+        assert len(phases) == 1
+        ph = phases[0]
+        assert ph.np == 4 and ph.rep == 5
+        assert ph.ranks == (0, 1, 2, 3)
+        assert ph.weight == 4 * 5 * 100
+
+    def test_gap_separated_phases(self):
+        entries = extract_laps(spmd_records(np_=2, nrep=3, adjacent=False))
+        phases = identify_phases(entries)
+        assert len(phases) == 3
+        assert all(ph.np == 2 and ph.rep == 1 for ph in phases)
+
+    def test_offset_function_fit(self):
+        entries = extract_laps(spmd_records(np_=4, nrep=2, rs=10))
+        (ph,) = identify_phases(entries)
+        fn = ph.ops[0].offset_fn
+        assert fn.is_linear and fn.slope == 20  # nrep * rs per rank
+
+    def test_tick_tolerance_respected(self):
+        records = [rec(0, "MPI_File_write", 0, tick=1),
+                   rec(1, "MPI_File_write", 100, tick=500)]
+        entries = extract_laps(records)
+        phases = identify_phases(entries, tick_tol=16)
+        assert len(phases) == 2  # too far apart in logical time
+        phases = identify_phases(entries, tick_tol=1000)
+        assert len(phases) == 1
+
+    def test_different_request_sizes_never_merge(self):
+        records = [rec(0, "MPI_File_write", 0, 1, rs=100),
+                   rec(1, "MPI_File_write", 0, 1, rs=200)]
+        phases = identify_phases(extract_laps(records))
+        assert len(phases) == 2
+
+    def test_subset_of_ranks_forms_phase(self):
+        """Gangs: only half the ranks do a pattern."""
+        records = [rec(r, "MPI_File_write", r * 100, 1) for r in (0, 2)]
+        records += [rec(r, "MPI_File_read", r * 100, 1) for r in (1, 3)]
+        phases = identify_phases(extract_laps(records))
+        assert len(phases) == 2
+        by_label = {ph.op_label: ph for ph in phases}
+        assert by_label["W"].ranks == (0, 2)
+        assert by_label["R"].ranks == (1, 3)
+
+    def test_phase_ids_ordered_by_time(self):
+        records = [rec(0, "MPI_File_write", 0, tick=100),
+                   rec(0, "MPI_File_read", 0, tick=1)]
+        # Execution order: read (t=1) then write (t=100).
+        records.sort(key=lambda r: r.tick)
+        phases = identify_phases(extract_laps(records))
+        assert phases[0].op_label == "R" and phases[0].phase_id == 1
+        assert phases[1].op_label == "W" and phases[1].phase_id == 2
+
+    def test_one_entry_per_rank_per_phase(self):
+        """A rank repeating the same burst twice yields two phases."""
+        records = []
+        for r in range(2):
+            records.append(rec(r, "MPI_File_write", 0, tick=1))
+            records.append(rec(r, "MPI_File_write", 0, tick=10))
+        phases = identify_phases(extract_laps(records), tick_tol=100)
+        assert len(phases) == 2
+        assert all(ph.np == 2 for ph in phases)
+
+
+class TestFileGroups:
+    def _meta(self):
+        return AppMetadata(files=[
+            FileMetadataSummary("out.0", 0, ("explicit",), False, True,
+                                "sequential", "unique", 1, 0, 1),
+            FileMetadataSummary("out.1", 1, ("explicit",), False, True,
+                                "sequential", "unique", 1, 0, 1),
+            FileMetadataSummary("shared.dat", 2, ("explicit",), True, False,
+                                "sequential", "shared", 1, 0, 2),
+        ])
+
+    def test_unique_files_collapse_to_base(self):
+        groups = file_groups_from_metadata(self._meta())
+        assert groups[0] == ("out", True)
+        assert groups[1] == ("out", True)
+        assert groups[2] == ("shared.dat", False)
+
+    def test_unique_files_grouped_into_one_phase(self):
+        records = [rec(0, "MPI_File_write_at", 0, 1, fid=0),
+                   rec(1, "MPI_File_write_at", 0, 1, fid=1)]
+        groups = file_groups_from_metadata(self._meta())
+        phases = identify_phases(extract_laps(records), file_groups=groups)
+        assert len(phases) == 1
+        assert phases[0].unique_file
+        assert phases[0].file_group == "out"
+        assert phases[0].file_ids == (0, 1)
+
+
+class TestProperties:
+    def test_weight_and_labels(self):
+        entries = extract_laps(spmd_records(np_=8, nrep=4, rs=1000))
+        (ph,) = identify_phases(entries)
+        assert ph.weight == 8 * 4 * 1000
+        assert ph.op_label == "W"
+        assert ph.n_operations == 32
+        assert ph.collective  # write_at_all
+        assert ph.request_size == 1000
+
+    def test_mixed_phase_label(self):
+        base = []
+        for r in range(2):
+            ops = []
+            for k in range(4):
+                ops.append(rec(r, "MPI_File_write", k * 10, 1 + 2 * k))
+                ops.append(rec(r, "MPI_File_read", 100 + k * 10, 2 + 2 * k))
+            base += ops
+        phases = identify_phases(extract_laps(base))
+        assert any(ph.op_label == "W-R" for ph in phases)
+
+
+class TestMergeAdjacent:
+    def test_btio_style_grouping(self):
+        entries = extract_laps(spmd_records(np_=2, nrep=6, adjacent=False))
+        phases = identify_phases(entries)
+        assert len(phases) == 6
+        merged = merge_adjacent_phases(phases)
+        assert len(merged) == 1
+        assert merged[0].rep == 6
+        assert merged[0].weight == sum(ph.weight for ph in phases)
+
+    def test_different_signatures_not_merged(self):
+        records = [rec(0, "MPI_File_write", 0, 1),
+                   rec(0, "MPI_File_read", 0, 100)]
+        phases = identify_phases(extract_laps(records))
+        assert len(merge_adjacent_phases(phases)) == 2

@@ -1,0 +1,96 @@
+"""Disk model: sequential vs seek costs, fragments, monitoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iosim.device import MB, Disk, DiskSpec
+from repro.iosim.monitor import DeviceMonitor
+
+
+def make_disk(**kw) -> Disk:
+    return Disk("d0", DiskSpec(**kw))
+
+
+class TestTransferCost:
+    def test_first_access_pays_seek(self):
+        d = make_disk(seq_write_bw=100.0, seek_ms=10.0, rotational_ms=0.0,
+                      op_overhead_ms=0.0)
+        end = d.transfer(0.0, 0, 100 * MB, "write")
+        assert end == pytest.approx(1.0 + 0.010)
+
+    def test_sequential_continuation_skips_seek(self):
+        d = make_disk(seq_write_bw=100.0, seek_ms=10.0, rotational_ms=0.0,
+                      op_overhead_ms=0.0)
+        e1 = d.transfer(0.0, 0, 10 * MB, "write")
+        e2 = d.transfer(e1, 10 * MB, 10 * MB, "write")
+        assert e2 - e1 == pytest.approx(0.1)  # no second seek
+
+    def test_random_jump_pays_seek(self):
+        d = make_disk(seq_write_bw=100.0, seek_ms=10.0, rotational_ms=0.0,
+                      op_overhead_ms=0.0)
+        e1 = d.transfer(0.0, 0, 10 * MB, "write")
+        e2 = d.transfer(e1, 500 * MB, 10 * MB, "write")
+        assert e2 - e1 == pytest.approx(0.1 + 0.010)
+
+    def test_near_sequential_tolerated(self):
+        """Small skips (journal padding) are not charged a full seek."""
+        d = make_disk(seq_write_bw=100.0, seek_ms=10.0, rotational_ms=0.0,
+                      op_overhead_ms=0.0)
+        e1 = d.transfer(0.0, 0, 10 * MB, "write")
+        e2 = d.transfer(e1, 10 * MB + 32 * 1024, 10 * MB, "write")
+        assert e2 - e1 == pytest.approx(0.1)
+
+    def test_fragments_charge_extra_seeks(self):
+        d = make_disk(seq_write_bw=100.0, seek_ms=10.0, rotational_ms=0.0,
+                      op_overhead_ms=0.0)
+        d.transfer(0.0, 0, MB, "write")
+        base = d.transfer(100.0, MB, 10 * MB, "write") - 100.0
+        d.reset()
+        d.transfer(0.0, 0, MB, "write")
+        frag = d.transfer(100.0, MB, 10 * MB, "write", fragments=5) - 100.0
+        assert frag == pytest.approx(base + 4 * 0.010)
+
+    def test_read_write_bandwidth_differ(self):
+        d = make_disk(seq_write_bw=50.0, seq_read_bw=100.0, seek_ms=0.0,
+                      rotational_ms=0.0, op_overhead_ms=0.0)
+        w = d.transfer(0.0, 0, 100 * MB, "write")
+        r = d.transfer(w, 100 * MB, 100 * MB, "read")
+        assert w == pytest.approx(2.0)
+        assert r - w == pytest.approx(1.0)
+
+    def test_zero_bytes_is_noop(self):
+        d = make_disk()
+        assert d.transfer(3.0, 0, 0, "write") == 3.0
+
+    def test_queueing_through_resource(self):
+        d = make_disk(seq_write_bw=100.0, seek_ms=0.0, rotational_ms=0.0,
+                      op_overhead_ms=0.0)
+        d.transfer(0.0, 0, 100 * MB, "write")  # busy until 1.0
+        end = d.transfer(0.5, 100 * MB, 100 * MB, "write")
+        assert end == pytest.approx(2.0)
+
+    def test_peak_bw(self):
+        d = make_disk(seq_write_bw=80.0, seq_read_bw=90.0)
+        assert d.peak_bw("write") == 80.0
+        assert d.peak_bw("read") == 90.0
+
+
+class TestMonitoring:
+    def test_transfers_recorded(self):
+        mon = DeviceMonitor()
+        d = make_disk()
+        d.monitor = mon
+        d.transfer(0.0, 0, MB, "write")
+        d.transfer(1.0, MB, 2 * MB, "read")
+        assert mon.total_bytes("d0") == 3 * MB
+        assert mon.total_bytes("d0", kind="write") == MB
+        assert mon.devices() == ["d0"]
+
+    def test_reset_clears_head(self):
+        d = make_disk(seek_ms=10.0, rotational_ms=0.0, op_overhead_ms=0.0,
+                      seq_write_bw=100.0)
+        d.transfer(0.0, 0, MB, "write")
+        d.reset()
+        end = d.transfer(0.0, MB, MB, "write")  # would be sequential pre-reset
+        assert end == pytest.approx(MB / (100 * MB) + 0.010)

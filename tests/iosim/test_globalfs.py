@@ -1,0 +1,153 @@
+"""Global filesystems: striping arithmetic, NFS funneling, parallel scaling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim.device import MB, Disk, DiskSpec
+from repro.iosim.globalfs import NFS, PVFS2, Access, Lustre, stripe_shares
+from repro.iosim.localfs import FSSpec, LocalFS
+from repro.iosim.network import GIGABIT_ETHERNET, LinkSpec
+from repro.iosim.nodes import ComputeNode, IONode
+from repro.iosim.raid import JBOD
+
+FAST_DISK = dict(seq_write_bw=100.0, seq_read_bw=100.0, seek_ms=0.0,
+                 rotational_ms=0.0, op_overhead_ms=0.0)
+FLAT_FS = FSSpec(op_latency_ms=0.0, journal_write_overhead=0.0)
+FAST_LINK = LinkSpec(bw_mb_s=1000.0, latency_s=0.0)
+
+
+def make_ion(name="ion", link=FAST_LINK, cache=0.0, **disk_kw) -> IONode:
+    params = dict(FAST_DISK)
+    params.update(disk_kw)
+    disk = Disk(f"{name}-d", DiskSpec(**params))
+    fs = LocalFS(f"{name}-fs", JBOD(f"{name}-j", [disk]), FLAT_FS, cache_mb=cache)
+    return IONode.make(name, fs, link)
+
+
+def client(name="cn", link=FAST_LINK) -> ComputeNode:
+    return ComputeNode.make(name, link)
+
+
+class TestStripeShares:
+    def test_single_stripe(self):
+        assert stripe_shares(0, 100, 1024, 4) == [100, 0, 0, 0]
+
+    def test_exact_round_robin(self):
+        assert stripe_shares(0, 4096, 1024, 4) == [1024, 1024, 1024, 1024]
+
+    def test_offset_rotation(self):
+        # Starts in stripe 1 -> server 1 gets the head.
+        assert stripe_shares(1024, 2048, 1024, 4) == [0, 1024, 1024, 0]
+
+    def test_partial_head_and_tail(self):
+        shares = stripe_shares(512, 1024, 1024, 2)
+        assert shares == [512, 512]
+
+    def test_zero_length(self):
+        assert stripe_shares(0, 0, 1024, 3) == [0, 0, 0]
+
+    @given(
+        offset=st.integers(0, 10_000),
+        length=st.integers(1, 50_000),
+        stripe=st.sampled_from([64, 100, 1024, 4096]),
+        n=st.integers(1, 8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_bytewise_reference(self, offset, length, stripe, n):
+        shares = stripe_shares(offset, length, stripe, n)
+        # Reference: walk stripes.
+        ref = [0] * n
+        pos = offset
+        remaining = length
+        while remaining > 0:
+            k = pos // stripe
+            take = min((k + 1) * stripe - pos, remaining)
+            ref[k % n] += take
+            pos += take
+            remaining -= take
+        assert shares == ref
+        assert sum(shares) == length
+
+
+class TestNFS:
+    def test_single_server_funnels_all_clients(self):
+        server = make_ion(link=LinkSpec(bw_mb_s=100.0, latency_s=0.0),
+                          seq_write_bw=1000.0, cache=10_000.0)
+        nfs = NFS(server)
+        clients = [client(f"c{i}") for i in range(4)]
+        ends = [nfs.service(Access(0.0, c, [(i * 100 * MB, 100 * MB)], "write"))
+                for i, c in enumerate(clients)]
+        # 400 MB through a 100 MB/s server NIC: at least 4 seconds total.
+        assert max(ends) >= 4.0
+
+    def test_read_rpc_penalty(self):
+        fast = NFS(make_ion("a"), read_rpc_ms=0.0)
+        slow = NFS(make_ion("b"), read_chunk_kb=128, read_rpc_ms=1.0)
+        acc = lambda ion: Access(0.0, client(), [(0, 10 * MB)], "read")
+        t_fast = fast.service(acc("a"))
+        t_slow = slow.service(acc("b"))
+        assert t_slow > t_fast + 0.07  # 80 chunks x 1 ms
+
+    def test_peak_is_single_node(self):
+        server = make_ion()
+        assert NFS(server).peak_bw("write") == server.peak_bw("write")
+
+
+class TestPVFS2:
+    def test_aggregate_faster_than_single_server(self):
+        slow_disk = dict(seq_write_bw=50.0, seq_read_bw=50.0, seek_ms=0.0,
+                         rotational_ms=0.0, op_overhead_ms=0.0)
+        one = NFS(make_ion("one", **slow_disk))
+        three = PVFS2([make_ion(f"p{i}", **slow_disk) for i in range(3)])
+        runs = [(0, 300 * MB)]
+        t_one = one.service(Access(0.0, client("c1"), runs, "write"))
+        t_three = three.service(Access(0.0, client("c2"), runs, "write"))
+        assert t_three < t_one
+
+    def test_peak_sums_over_ions(self):
+        ions = [make_ion(f"p{i}") for i in range(3)]
+        assert PVFS2(ions).peak_bw("write") == pytest.approx(
+            sum(i.peak_bw("write") for i in ions))
+
+    def test_per_stripe_overhead_slows_service(self):
+        ions_a = [make_ion("a0"), make_ion("a1")]
+        ions_b = [make_ion("b0"), make_ion("b1")]
+        fast = PVFS2(ions_a, stripe_kb=64, per_stripe_overhead_ms=0.0)
+        slow = PVFS2(ions_b, stripe_kb=64, per_stripe_overhead_ms=1.0)
+        runs = [(0, 10 * MB)]
+        assert slow.service(Access(0.0, client(), runs, "write")) > \
+            fast.service(Access(0.0, client(), runs, "write"))
+
+    def test_requires_ions(self):
+        with pytest.raises(ValueError):
+            PVFS2([])
+
+
+class TestLustre:
+    def test_stripe_count_limits_osts_used(self):
+        osses = [make_ion(f"o{i}") for i in range(6)]
+        fs = Lustre(osses, stripe_count=2)
+        fs.service(Access(0.0, client(), [(0, 10 * MB)], "write", file_id=0))
+        used = [o for o in osses if o.fs.volume.disks[0].resource.total_requests]
+        assert len(used) == 2
+
+    def test_different_files_use_different_osts(self):
+        osses = [make_ion(f"o{i}") for i in range(6)]
+        fs = Lustre(osses, stripe_count=1)
+        fs.service(Access(0.0, client(), [(0, MB)], "write", file_id=0))
+        fs.service(Access(0.0, client(), [(0, MB)], "write", file_id=3))
+        used = [i for i, o in enumerate(osses)
+                if o.fs.volume.disks[0].resource.total_requests]
+        assert used == [0, 3]
+
+    def test_peak_sums_all_osses(self):
+        osses = [make_ion(f"o{i}") for i in range(4)]
+        assert Lustre(osses).peak_bw("read") == pytest.approx(
+            sum(o.peak_bw("read") for o in osses))
+
+    def test_requires_osses(self):
+        with pytest.raises(ValueError):
+            Lustre([])

@@ -1,0 +1,79 @@
+"""Local FS: journal overhead, write-back cache, readahead."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iosim.device import MB, Disk, DiskSpec
+from repro.iosim.localfs import EXT3, EXT4, FSSpec, LocalFS
+from repro.iosim.raid import JBOD
+
+FAST = dict(seq_write_bw=100.0, seq_read_bw=100.0, seek_ms=0.0,
+            rotational_ms=0.0, op_overhead_ms=0.0)
+
+
+def make_fs(cache_mb=0.0, spec=None, **disk_kw) -> LocalFS:
+    params = dict(FAST)
+    params.update(disk_kw)
+    disk = Disk("d", DiskSpec(**params))
+    return LocalFS("fs", JBOD("j", [disk]),
+                   spec or FSSpec(op_latency_ms=0.0, journal_write_overhead=0.0),
+                   cache_mb=cache_mb)
+
+
+class TestWrites:
+    def test_uncached_write_runs_at_disk_speed(self):
+        fs = make_fs(cache_mb=0.0)
+        end = fs.transfer(0.0, 0, 100 * MB, "write")
+        assert end == pytest.approx(1.0)
+
+    def test_cache_absorbs_small_burst(self):
+        fs = make_fs(cache_mb=256.0)
+        end = fs.transfer(0.0, 0, 10 * MB, "write")
+        assert end < 0.02  # memory speed, not 0.1 s of disk time
+
+    def test_cache_overflows_to_disk_speed(self):
+        fs = make_fs(cache_mb=64.0)
+        t = 0.0
+        durations = []
+        for i in range(10):
+            end = fs.transfer(t, i * 64 * MB, 64 * MB, "write")
+            durations.append(end - t)
+            t = end
+        # First write absorbed; sustained writes converge to disk rate.
+        assert durations[0] < 0.1
+        assert durations[-1] == pytest.approx(64 / 100, rel=0.2)
+
+    def test_journal_overhead_slows_writes(self):
+        plain = make_fs(cache_mb=0.0)
+        journaled = make_fs(cache_mb=0.0,
+                            spec=FSSpec(op_latency_ms=0.0,
+                                        journal_write_overhead=0.10))
+        t_plain = plain.transfer(0.0, 0, 100 * MB, "write")
+        t_j = journaled.transfer(0.0, 0, 100 * MB, "write")
+        assert t_j == pytest.approx(t_plain * 1.10, rel=0.01)
+
+    def test_peak_bw_accounts_for_journal(self):
+        fs = make_fs(spec=FSSpec(op_latency_ms=0.0, journal_write_overhead=0.25))
+        assert fs.peak_bw("write") == pytest.approx(80.0)
+        assert fs.peak_bw("read") == pytest.approx(100.0)
+
+
+class TestReads:
+    def test_sequential_reads_benefit_from_readahead(self):
+        fs = make_fs(spec=FSSpec(op_latency_ms=0.0, journal_write_overhead=0.0,
+                                 readahead_benefit=0.5))
+        e1 = fs.transfer(0.0, 0, 10 * MB, "read")
+        e2 = fs.transfer(e1, 10 * MB, 10 * MB, "read")
+        assert (e2 - e1) < e1  # second (sequential) read is cheaper
+
+    def test_ext3_vs_ext4_defaults(self):
+        assert EXT3.journal_write_overhead > EXT4.journal_write_overhead
+        assert EXT3.op_latency_ms > EXT4.op_latency_ms
+
+    def test_reset_clears_state(self):
+        fs = make_fs()
+        fs.transfer(0.0, 0, MB, "read")
+        fs.reset()
+        assert fs._last_read_end is None
+        assert fs.volume.disks[0].resource.next_free == 0.0

@@ -1,0 +1,77 @@
+"""iostat-style monitor: bucket attribution, sector accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iosim.device import SECTOR_BYTES
+from repro.iosim.monitor import DeviceMonitor
+
+
+class TestSeries:
+    def test_single_transfer_one_bucket(self):
+        mon = DeviceMonitor()
+        mon.record("sda", 0.2, 0.7, 512 * 100, "write")
+        rows = mon.series("sda", bucket=1.0)
+        assert len(rows) == 1
+        assert rows[0].sectors_written_per_s == pytest.approx(100)
+        assert rows[0].busy_fraction == pytest.approx(0.5)
+
+    def test_transfer_spanning_buckets_split_proportionally(self):
+        mon = DeviceMonitor()
+        mon.record("sda", 0.5, 2.5, SECTOR_BYTES * 200, "write")
+        rows = mon.series("sda", bucket=1.0)
+        assert len(rows) == 3
+        # 0.5 s in bucket 0, 1.0 s in bucket 1, 0.5 s in bucket 2.
+        assert rows[0].sectors_written_per_s == pytest.approx(50)
+        assert rows[1].sectors_written_per_s == pytest.approx(100)
+        assert rows[2].sectors_written_per_s == pytest.approx(50)
+        assert rows[1].busy_fraction == pytest.approx(1.0)
+
+    def test_reads_and_writes_separate_columns(self):
+        mon = DeviceMonitor()
+        mon.record("sda", 0.0, 0.5, SECTOR_BYTES * 10, "write")
+        mon.record("sda", 0.5, 1.0, SECTOR_BYTES * 30, "read")
+        (row,) = mon.series("sda", bucket=1.0)
+        assert row.sectors_written_per_s == pytest.approx(10)
+        assert row.sectors_read_per_s == pytest.approx(30)
+
+    def test_busy_fraction_capped(self):
+        mon = DeviceMonitor()
+        mon.record("sda", 0.0, 0.6, 512, "write")
+        mon.record("sda", 0.3, 0.9, 512, "write")  # overlap
+        (row,) = mon.series("sda", bucket=1.0)
+        assert row.busy_fraction == pytest.approx(1.0)
+
+    def test_unknown_device_empty(self):
+        assert DeviceMonitor().series("nope") == []
+
+    def test_bad_bucket_rejected(self):
+        mon = DeviceMonitor()
+        mon.record("sda", 0.0, 1.0, 512, "write")
+        with pytest.raises(ValueError):
+            mon.series("sda", bucket=0.0)
+
+
+class TestAccounting:
+    def test_total_bytes_filters(self):
+        mon = DeviceMonitor()
+        mon.record("a", 0, 1, 100, "write")
+        mon.record("a", 1, 2, 50, "read")
+        mon.record("b", 0, 1, 25, "write")
+        assert mon.total_bytes() == 175
+        assert mon.total_bytes("a") == 150
+        assert mon.total_bytes(kind="write") == 125
+        assert mon.total_bytes("b", "write") == 25
+
+    def test_devices_sorted(self):
+        mon = DeviceMonitor()
+        mon.record("z", 0, 1, 1, "write")
+        mon.record("a", 0, 1, 1, "write")
+        assert mon.devices() == ["a", "z"]
+
+    def test_clear(self):
+        mon = DeviceMonitor()
+        mon.record("a", 0, 1, 1, "write")
+        mon.clear()
+        assert mon.samples == [] and mon.devices() == []

@@ -1,0 +1,94 @@
+"""Links: serialization, presets, background-load modulation, comm costs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.iosim.device import MB
+from repro.iosim.network import (
+    GIGABIT_ETHERNET,
+    INFINIBAND_20G,
+    Link,
+    LinkSpec,
+    collective_comm_time,
+)
+
+
+class TestLink:
+    def test_message_cost(self):
+        link = Link("l", LinkSpec(bw_mb_s=100.0, latency_s=0.001))
+        assert link.cost(100 * MB) == pytest.approx(1.001)
+
+    def test_concurrent_flows_serialize(self):
+        link = Link("l", LinkSpec(bw_mb_s=100.0, latency_s=0.0))
+        _, e1 = link.send(0.0, 100 * MB)
+        _, e2 = link.send(0.0, 100 * MB)
+        assert e1 == pytest.approx(1.0)
+        assert e2 == pytest.approx(2.0)
+
+    def test_presets_ordering(self):
+        assert INFINIBAND_20G.bw_mb_s > 10 * GIGABIT_ETHERNET.bw_mb_s
+        assert INFINIBAND_20G.latency_s < GIGABIT_ETHERNET.latency_s
+
+    def test_reset(self):
+        link = Link("l")
+        link.send(0.0, MB)
+        link.reset()
+        assert link.resource.next_free == 0.0
+
+
+class TestBackgroundLoad:
+    def test_flat_by_default(self):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.0)
+        assert spec.bw_at(0.0) == spec.bw_at(123.4) == 100.0
+
+    def test_modulation_bounds(self):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.0,
+                        load_amplitude=0.05, load_period_s=100.0)
+        values = [spec.bw_at(t) for t in range(0, 200, 7)]
+        assert min(values) >= 95.0 - 1e-9
+        assert max(values) <= 105.0 + 1e-9
+        assert max(values) > 104.0  # the swing is actually exercised
+
+    def test_modulation_is_deterministic(self):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.0, load_amplitude=0.05)
+        assert spec.bw_at(42.0) == spec.bw_at(42.0)
+
+    def test_periodicity(self):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.0,
+                        load_amplitude=0.1, load_period_s=50.0)
+        assert spec.bw_at(13.0) == pytest.approx(spec.bw_at(63.0))
+
+    def test_send_cost_varies_with_time(self):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.0,
+                        load_amplitude=0.1, load_period_s=100.0)
+        link = Link("l", spec)
+        c_peak = link.cost(100 * MB, at=25.0)  # sin = +1
+        c_trough = link.cost(100 * MB, at=75.0)  # sin = -1
+        assert c_peak < c_trough
+
+
+class TestCollectiveCommTime:
+    def test_barrier_latency_scales_with_log_ranks(self):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.001)
+        t4 = collective_comm_time(spec, 0, 4, "barrier")
+        t64 = collective_comm_time(spec, 0, 64, "barrier")
+        assert t64 == pytest.approx(t4 * 3)
+
+    def test_bcast_charges_payload(self):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.0)
+        t = collective_comm_time(spec, 100 * MB, 2, "bcast")
+        assert t >= 1.0
+
+    def test_p2p(self):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.5)
+        t = collective_comm_time(spec, 100 * MB, 2, "p2p")
+        assert t == pytest.approx(1.5)
+
+    def test_zero_byte_patterns_positive(self):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.001)
+        for pattern in ("barrier", "bcast", "allreduce", "gather",
+                        "alltoall", "split", "file_open", "p2p"):
+            assert collective_comm_time(spec, 0, 8, pattern) > 0.0

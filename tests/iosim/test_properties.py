@@ -1,0 +1,119 @@
+"""Cross-cutting iosim properties (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim.device import MB, Disk, DiskSpec
+from repro.iosim.globalfs import NFS, PVFS2, Access
+from repro.iosim.localfs import FSSpec, LocalFS
+from repro.iosim.network import Link, LinkSpec
+from repro.iosim.nodes import ComputeNode, IONode
+from repro.iosim.raid import JBOD, RAID0, RAID5
+
+FLAT_FS = FSSpec(op_latency_ms=0.0, journal_write_overhead=0.0)
+
+
+def fresh_disk(bw=100.0):
+    return Disk("d", DiskSpec(seq_write_bw=bw, seq_read_bw=bw))
+
+
+class TestDiskProperties:
+    @given(nbytes=st.integers(1, 512 * MB), kind=st.sampled_from(["write", "read"]))
+    @settings(max_examples=60, deadline=None)
+    def test_duration_positive_and_bounded_below_by_media_rate(self, nbytes, kind):
+        disk = fresh_disk(bw=100.0)
+        end = disk.transfer(0.0, 0, nbytes, kind)
+        assert end > 0.0
+        assert end >= nbytes / (100.0 * MB)  # cannot beat the media
+
+    @given(sizes=st.lists(st.integers(1, 32 * MB), min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_completions_monotone(self, sizes):
+        disk = fresh_disk()
+        t = 0.0
+        ends = []
+        for i, nbytes in enumerate(sizes):
+            t = disk.transfer(t, i * 64 * MB, nbytes, "write")
+            ends.append(t)
+        assert ends == sorted(ends)
+
+    @given(a=st.integers(1, 64 * MB), b=st.integers(1, 64 * MB))
+    @settings(max_examples=40, deadline=None)
+    def test_larger_transfer_never_faster(self, a, b):
+        lo, hi = sorted((a, b))
+        d1, d2 = fresh_disk(), fresh_disk()
+        t_lo = d1.transfer(0.0, 0, lo, "write")
+        t_hi = d2.transfer(0.0, 0, hi, "write")
+        assert t_hi >= t_lo
+
+
+class TestVolumeProperties:
+    @given(n=st.integers(1, 6), nbytes=st.integers(MB, 64 * MB))
+    @settings(max_examples=30, deadline=None)
+    def test_raid0_never_slower_than_jbod(self, n, nbytes):
+        disks0 = [fresh_disk() for _ in range(n)]
+        disksj = [fresh_disk() for _ in range(n)]
+        for d in disks0 + disksj:
+            d.spec = DiskSpec(seq_write_bw=100.0, seq_read_bw=100.0,
+                              seek_ms=0.0, rotational_ms=0.0,
+                              op_overhead_ms=0.0)
+        r0 = RAID0("r0", disks0)
+        jbod = JBOD("j", disksj)
+        assert r0.transfer(0.0, 0, nbytes, "write") <= \
+            jbod.transfer(0.0, 0, nbytes, "write") + 1e-9
+
+    @given(nbytes=st.integers(MB, 128 * MB))
+    @settings(max_examples=30, deadline=None)
+    def test_raid5_capacity_peak_relation(self, nbytes):
+        disks = [fresh_disk() for _ in range(5)]
+        r5 = RAID5("r5", disks)
+        # Peak bandwidth implies a lower bound on any transfer's duration.
+        end = r5.transfer(0.0, 0, nbytes, "write")
+        assert end >= nbytes / (r5.peak_bw("write") * MB) * 0.99
+
+
+class TestLinkProperties:
+    @given(sizes=st.lists(st.integers(1, 16 * MB), min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_sums(self, sizes):
+        link = Link("l", LinkSpec(bw_mb_s=100.0, latency_s=0.0))
+        end = 0.0
+        for nbytes in sizes:
+            _, end = link.send(0.0, nbytes)
+        assert end == pytest.approx(sum(sizes) / (100.0 * MB))
+
+    @given(amp=st.floats(0.0, 0.2), t=st.floats(0.0, 10_000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_modulated_bandwidth_in_band(self, amp, t):
+        spec = LinkSpec(bw_mb_s=100.0, latency_s=0.0, load_amplitude=amp)
+        bw = spec.bw_at(t)
+        assert 100.0 * (1 - amp) - 1e-6 <= bw <= 100.0 * (1 + amp) + 1e-6
+
+
+class TestGlobalFSProperties:
+    def _nfs(self):
+        fs = LocalFS("fs", JBOD("j", [fresh_disk()]), FLAT_FS, cache_mb=0.0)
+        return NFS(IONode.make("srv", fs))
+
+    @given(nbytes=st.integers(1, 64 * MB))
+    @settings(max_examples=30, deadline=None)
+    def test_nfs_completion_after_start(self, nbytes):
+        nfs = self._nfs()
+        client = ComputeNode.make("c")
+        start = 5.0
+        end = nfs.service(Access(start, client, [(0, nbytes)], "write"))
+        assert end > start
+
+    @given(n_ions=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_pvfs_peak_scales_linearly(self, n_ions):
+        ions = []
+        for i in range(n_ions):
+            fs = LocalFS(f"fs{i}", JBOD(f"j{i}", [fresh_disk()]), FLAT_FS)
+            ions.append(IONode.make(f"ion{i}", fs))
+        pvfs = PVFS2(ions)
+        assert pvfs.peak_bw("write") == pytest.approx(
+            n_ions * ions[0].peak_bw("write"))

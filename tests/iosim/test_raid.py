@@ -1,0 +1,175 @@
+"""Volumes: JBOD routing, RAID 0/1/5 bandwidth and capacity invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim.device import MB, Disk, DiskSpec
+from repro.iosim.device import SSD_SPEC
+from repro.iosim.raid import JBOD, RAID0, RAID1, RAID5, RAID6, RAID10, summarize
+
+
+def disks(n, **kw):
+    return [Disk(f"d{i}", DiskSpec(**kw)) for i in range(n)]
+
+
+FAST = dict(seq_write_bw=100.0, seq_read_bw=100.0, seek_ms=0.0,
+            rotational_ms=0.0, op_overhead_ms=0.0, capacity_gb=100.0)
+
+
+class TestJBOD:
+    def test_locator_routes_to_one_disk(self):
+        v = JBOD("j", disks(3, **FAST))
+        v.transfer(0.0, 0, MB, "write", locator=1)
+        assert v.disks[1].resource.total_requests == 1
+        assert v.disks[0].resource.total_requests == 0
+
+    def test_peak_is_single_disk(self):
+        v = JBOD("j", disks(3, **FAST))
+        assert v.peak_bw("write") == 100.0
+
+    def test_capacity_sums(self):
+        v = JBOD("j", disks(3, **FAST))
+        assert v.capacity_gb == 300.0
+
+
+class TestRAID0:
+    def test_bandwidth_scales(self):
+        v = RAID0("r0", disks(4, **FAST))
+        end = v.transfer(0.0, 0, 400 * MB, "write")
+        assert end == pytest.approx(1.0)  # 100 MB per disk at 100 MB/s
+        assert v.peak_bw("write") == 400.0
+
+
+class TestRAID1:
+    def test_write_hits_both_members(self):
+        v = RAID1("r1", disks(2, **FAST))
+        v.transfer(0.0, 0, MB, "write")
+        assert all(d.resource.total_requests == 1 for d in v.disks)
+
+    def test_read_faster_than_write(self):
+        v = RAID1("r1", disks(2, **FAST))
+        w = v.transfer(0.0, 0, 100 * MB, "write")
+        r = v.transfer(w, 0, 100 * MB, "read") - w
+        assert w == pytest.approx(1.0)
+        assert r < w
+
+    def test_capacity_is_one_member(self):
+        v = RAID1("r1", disks(2, **FAST))
+        assert v.capacity_gb == 100.0
+
+
+class TestRAID5:
+    def test_needs_three_disks(self):
+        with pytest.raises(ValueError):
+            RAID5("r5", disks(2, **FAST))
+
+    def test_full_stripe_write_uses_data_disks_rate(self):
+        v = RAID5("r5", disks(5, **FAST), stripe_kb=256)
+        end = v.transfer(0.0, 0, 400 * MB, "write")
+        assert end == pytest.approx(1.0)  # 100 MB per data disk
+
+    def test_small_write_pays_read_modify_write(self):
+        v = RAID5("r5", disks(5, **FAST), stripe_kb=256)
+        small = 64 * 1024  # below the full stripe
+        end = v.transfer(0.0, 0, small, "write")
+        # read + write on data and parity members: ~2x the raw transfer.
+        assert end >= 2 * small / (100 * MB)
+
+    def test_read_uses_data_disks(self):
+        v = RAID5("r5", disks(5, **FAST))
+        end = v.transfer(0.0, 0, 400 * MB, "read")
+        assert end == pytest.approx(1.0)
+
+    def test_capacity_excludes_parity(self):
+        v = RAID5("r5", disks(5, **FAST))
+        assert v.capacity_gb == 400.0
+
+    def test_paper_configuration_peaks(self):
+        """Conf A shape: 5 disks, ~400 write / ~350 read MB/s."""
+        v = RAID5("r5", disks(5, seq_write_bw=105.0, seq_read_bw=87.5))
+        assert v.peak_bw("write") == pytest.approx(420.0)
+        assert v.peak_bw("read") == pytest.approx(350.0)
+
+
+class TestSummaries:
+    def test_summarize(self):
+        v = RAID5("r5", disks(5, **FAST))
+        s = summarize(v)
+        assert s.level == "RAID5" and s.n_disks == 5
+        assert s.capacity_gb == 400.0
+
+    @given(n=st.integers(3, 8), bw=st.floats(10.0, 200.0))
+    @settings(max_examples=30, deadline=None)
+    def test_raid5_capacity_and_peak_invariants(self, n, bw):
+        v = RAID5("r5", disks(n, seq_write_bw=bw, seq_read_bw=bw,
+                              capacity_gb=50.0))
+        assert v.capacity_gb == pytest.approx(50.0 * (n - 1))
+        assert v.peak_bw("write") == pytest.approx(bw * (n - 1))
+        assert v.peak_bw("read") == pytest.approx(bw * (n - 1))
+
+
+class TestRAID6:
+    def test_needs_four_disks(self):
+        with pytest.raises(ValueError):
+            RAID6("r6", disks(3, **FAST))
+
+    def test_capacity_excludes_two_parity(self):
+        v = RAID6("r6", disks(6, **FAST))
+        assert v.capacity_gb == 400.0
+
+    def test_full_stripe_write_rate(self):
+        v = RAID6("r6", disks(6, **FAST), stripe_kb=256)
+        end = v.transfer(0.0, 0, 400 * MB, "write")
+        assert end == pytest.approx(1.0)  # 100 MB per data disk
+
+    def test_small_write_penalty_worse_than_raid5(self):
+        r5 = RAID5("r5", disks(6, **FAST), stripe_kb=256)
+        r6 = RAID6("r6", disks(6, **FAST), stripe_kb=256)
+        small = 64 * 1024
+        assert r6.transfer(0.0, 0, small, "write") >= \
+            r5.transfer(0.0, 0, small, "write")
+
+    def test_peaks(self):
+        v = RAID6("r6", disks(6, **FAST))
+        assert v.peak_bw("write") == pytest.approx(400.0)
+        assert v.peak_bw("read") == pytest.approx(400.0)
+
+
+class TestRAID10:
+    def test_needs_even_count(self):
+        with pytest.raises(ValueError):
+            RAID10("r10", disks(5, **FAST))
+
+    def test_capacity_is_half(self):
+        v = RAID10("r10", disks(6, **FAST))
+        assert v.capacity_gb == 300.0
+
+    def test_write_hits_all_disks(self):
+        v = RAID10("r10", disks(4, **FAST))
+        v.transfer(0.0, 0, MB, "write")
+        assert all(d.resource.total_requests == 1 for d in v.disks)
+
+    def test_reads_faster_than_writes(self):
+        v = RAID10("r10", disks(4, **FAST))
+        assert v.peak_bw("read") == pytest.approx(2 * v.peak_bw("write"))
+
+
+class TestSSD:
+    def test_no_seek_penalty(self):
+        from repro.iosim.device import Disk
+        ssd = Disk("ssd0", SSD_SPEC)
+        e1 = ssd.transfer(0.0, 0, 10 * MB, "write")
+        # A far jump costs the same as a sequential continuation.
+        e2 = ssd.transfer(e1, 400 * 1024 * MB, 10 * MB, "write")
+        assert (e2 - e1) == pytest.approx(e1, rel=0.02)
+
+    def test_faster_than_spinning_disk(self):
+        from repro.iosim.device import Disk, DiskSpec
+        hdd = Disk("hdd", DiskSpec())
+        ssd = Disk("ssd", SSD_SPEC)
+        t_hdd = hdd.transfer(0.0, 0, 100 * MB, "read")
+        t_ssd = ssd.transfer(0.0, 0, 100 * MB, "read")
+        assert t_ssd < t_hdd / 3

@@ -1,0 +1,74 @@
+"""FCFS resource queueing in virtual time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iosim.resource import Resource, ResourceGroup
+
+
+class TestResource:
+    def test_idle_resource_starts_immediately(self):
+        r = Resource("r")
+        begin, end = r.acquire(5.0, 2.0)
+        assert (begin, end) == (5.0, 7.0)
+
+    def test_queueing(self):
+        r = Resource("r")
+        r.acquire(0.0, 3.0)
+        begin, end = r.acquire(1.0, 2.0)  # arrives while busy
+        assert begin == 3.0 and end == 5.0
+
+    def test_gap_preserved(self):
+        r = Resource("r")
+        r.acquire(0.0, 1.0)
+        begin, _ = r.acquire(10.0, 1.0)
+        assert begin == 10.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("r").acquire(0.0, -1.0)
+
+    def test_busy_time_and_utilization(self):
+        r = Resource("r")
+        r.acquire(0.0, 2.0)
+        r.acquire(4.0, 2.0)
+        assert r.busy_time == 4.0
+        assert r.utilization(8.0) == pytest.approx(0.5)
+        assert r.utilization(0.0) == 0.0
+
+    def test_utilization_capped_at_one(self):
+        r = Resource("r")
+        r.acquire(0.0, 10.0)
+        assert r.utilization(5.0) == 1.0
+
+    def test_reset(self):
+        r = Resource("r")
+        r.acquire(0.0, 2.0)
+        r.reset()
+        assert r.next_free == 0.0 and r.busy_time == 0.0 and r.total_requests == 0
+
+    def test_monotonic_under_contention(self):
+        """Adding earlier traffic never makes a later request finish sooner."""
+        lone = Resource("lone")
+        _, end_alone = lone.acquire(10.0, 1.0)
+
+        shared = Resource("shared")
+        for k in range(5):
+            shared.acquire(float(k), 2.0)
+        _, end_shared = shared.acquire(10.0, 1.0)
+        assert end_shared >= end_alone
+
+
+class TestResourceGroup:
+    def test_parallel_acquisition(self):
+        group = ResourceGroup([Resource(f"r{i}") for i in range(3)])
+        begin, end = group.acquire_parallel(1.0, 2.0)
+        assert begin == 1.0 and end == 3.0
+
+    def test_slowest_member_dominates(self):
+        members = [Resource(f"r{i}") for i in range(2)]
+        members[1].acquire(0.0, 5.0)  # preload one member
+        group = ResourceGroup(members)
+        _, end = group.acquire_parallel(0.0, 1.0)
+        assert end == 6.0

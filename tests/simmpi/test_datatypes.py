@@ -1,0 +1,165 @@
+"""Datatype subset: sizes, extents, segments and view mapping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    Basic,
+    Contiguous,
+    FileView,
+    Resized,
+    Vector,
+)
+from repro.simmpi.errors import MPIUsageError
+
+
+class TestBasic:
+    def test_byte_and_double(self):
+        assert BYTE.size == BYTE.extent == 1
+        assert DOUBLE.size == DOUBLE.extent == 8
+
+    def test_custom_etype(self):
+        t = Basic(40, "record")
+        assert t.size == 40 and t.is_dense
+        assert t.segments() == [(0, 40)]
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(MPIUsageError):
+            Basic(0)
+
+
+class TestContiguous:
+    def test_dense_collapse(self):
+        t = Contiguous(1000, Basic(40))
+        assert t.size == t.extent == 40_000
+        assert t.segments() == [(0, 40_000)]
+
+    def test_over_sparse_base(self):
+        sparse = Vector(2, 1, 3, BYTE)  # bytes at 0 and 3
+        t = Contiguous(2, sparse)
+        assert t.size == 4
+        # extents tile: second copy starts at sparse.extent = 4
+        assert t.segments() == [(0, 1), (3, 2), (7, 1)]
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(MPIUsageError):
+            Contiguous(0)
+
+
+class TestVector:
+    def test_basic_shape(self):
+        t = Vector(count=3, blocklen=2, stride=5, base=BYTE)
+        assert t.size == 6
+        assert t.extent == 2 * 5 + 2  # last block ends at 12
+        assert t.segments() == [(0, 2), (5, 2), (10, 2)]
+
+    def test_stride_lt_blocklen_rejected(self):
+        with pytest.raises(MPIUsageError):
+            Vector(2, 4, 3)
+
+    def test_contiguous_degenerate(self):
+        t = Vector(count=4, blocklen=2, stride=2, base=BYTE)
+        assert t.segments() == [(0, 8)]
+
+    def test_etype_scaling(self):
+        t = Vector(count=2, blocklen=3, stride=10, base=Basic(40))
+        assert t.size == 2 * 3 * 40
+        assert t.segments() == [(0, 120), (400, 120)]
+
+
+class TestResized:
+    def test_padding(self):
+        t = Resized(Contiguous(4), extent=10)
+        assert t.size == 4 and t.extent == 10
+        assert t.segments() == [(0, 4)]
+
+    def test_truncation_rejected(self):
+        with pytest.raises(MPIUsageError):
+            Resized(Contiguous(4), extent=2)
+
+
+def brute_force_map(view: FileView, view_off: int, nbytes: int) -> list[int]:
+    """Reference: absolute offset of each data byte, one by one."""
+    ft = view.filetype
+    segs = ft.segments()
+    out = []
+    for b in range(view_off, view_off + nbytes):
+        tile, in_tile = divmod(b, ft.size)
+        base = view.disp + tile * ft.extent
+        consumed = 0
+        for off, ln in segs:
+            if consumed + ln > in_tile:
+                out.append(base + off + (in_tile - consumed))
+                break
+            consumed += ln
+    return out
+
+
+def runs_to_bytes(runs: list[tuple[int, int]]) -> list[int]:
+    out = []
+    for off, ln in runs:
+        out.extend(range(off, off + ln))
+    return out
+
+
+class TestFileView:
+    def test_contiguous_identity(self):
+        v = FileView()
+        assert v.is_contiguous
+        assert v.map_range(100, 50) == [(100, 50)]
+
+    def test_displacement(self):
+        v = FileView(disp=1000)
+        assert v.map_range(0, 10) == [(1000, 10)]
+
+    def test_strided_mapping(self):
+        # 4 processes, blocks of 10 bytes: process 1's view.
+        ft = Vector(count=5, blocklen=10, stride=40, base=BYTE)
+        v = FileView(disp=10, etype=BYTE, filetype=ft)
+        assert v.map_range(0, 10) == [(10, 10)]
+        assert v.map_range(10, 10) == [(50, 10)]
+        assert v.map_range(5, 10) == [(15, 5), (50, 5)]  # crosses blocks
+
+    def test_etype_mismatch_rejected(self):
+        with pytest.raises(MPIUsageError):
+            FileView(etype=Basic(7), filetype=Vector(2, 3, 5, BYTE))
+
+    def test_negative_disp_rejected(self):
+        with pytest.raises(MPIUsageError):
+            FileView(disp=-1)
+
+    def test_empty_access(self):
+        v = FileView(disp=5)
+        assert v.map_range(0, 0) == []
+
+    def test_extent_of(self):
+        ft = Vector(count=3, blocklen=4, stride=10, base=BYTE)
+        v = FileView(disp=0, filetype=ft)
+        assert v.extent_of(0, 12) == (0, 24)
+
+    @given(
+        count=st.integers(1, 6),
+        blocklen=st.integers(1, 8),
+        extra_stride=st.integers(0, 8),
+        disp=st.integers(0, 50),
+        view_off=st.integers(0, 60),
+        nbytes=st.integers(1, 80),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_map_range_matches_bytewise_reference(self, count, blocklen,
+                                                  extra_stride, disp,
+                                                  view_off, nbytes):
+        ft = Vector(count=count, blocklen=blocklen,
+                    stride=blocklen + extra_stride, base=BYTE)
+        v = FileView(disp=disp, etype=BYTE, filetype=ft)
+        runs = v.map_range(view_off, nbytes)
+        assert runs_to_bytes(runs) == brute_force_map(v, view_off, nbytes)
+        # Coalesced: disjoint, sorted, no zero-length runs.
+        for (o1, l1), (o2, l2) in zip(runs, runs[1:]):
+            assert o1 + l1 < o2
+        assert all(ln > 0 for _, ln in runs)

@@ -1,0 +1,81 @@
+"""CLI: subcommand wiring on small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestConfigs:
+    def test_configs_lists_tables_vi_vii(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Configuration A", "Configuration B", "Configuration C",
+                     "Finisterrae"):
+            assert name in out
+        assert "NFS Ver 3" in out and "Lustre" in out
+
+
+class TestTraceAndModel:
+    def test_trace_synthetic(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        assert main(["trace", "--app", "synthetic", "--np", "4",
+                     "--out", str(out_dir)]) == 0
+        assert (out_dir / "trace.0").exists()
+        assert (out_dir / "model.json").exists()
+        assert "traced synthetic" in capsys.readouterr().out
+
+    def test_model_from_traces(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        main(["trace", "--app", "synthetic", "--np", "4",
+              "--out", str(out_dir)])
+        capsys.readouterr()
+        assert main(["model", "--traces", str(out_dir),
+                     "--name", "synthetic"]) == 0
+        out = capsys.readouterr().out
+        assert "I/O model of synthetic" in out
+        assert "InitOffset" in out
+
+    def test_unknown_app_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--app", "nope", "--out", str(tmp_path)])
+
+    def test_unknown_config_rejected(self, tmp_path):
+        out_dir = tmp_path / "traces"
+        main(["trace", "--app", "synthetic", "--np", "4",
+              "--out", str(out_dir)])
+        with pytest.raises(SystemExit):
+            main(["estimate", "--model", str(out_dir / "model.json"),
+                  "--config", "nope"])
+
+
+class TestEstimateAndSelect:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("cli") / "traces"
+        main(["trace", "--app", "ior", "--np", "4", "--out", str(out_dir)])
+        return str(out_dir / "model.json")
+
+    def test_estimate(self, model_path, capsys):
+        assert main(["estimate", "--model", model_path,
+                     "--config", "configuration-A"]) == 0
+        out = capsys.readouterr().out
+        assert "BW_CH" in out and "total Time_io(CH)" in out
+
+    def test_select(self, model_path, capsys):
+        assert main(["select", "--model", model_path,
+                     "--configs", "configuration-A,configuration-B"]) == 0
+        out = capsys.readouterr().out
+        assert "<- selected" in out
+
+    def test_replay(self, model_path, capsys):
+        assert main(["replay", "--model", model_path,
+                     "--config", "configuration-A"]) == 0
+        out = capsys.readouterr().out
+        assert "total replayed I/O time" in out
+
+    def test_signatures(self, model_path, capsys):
+        assert main(["signatures", "--model", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "Byna-style" in out and "phase 1:" in out

@@ -1,0 +1,73 @@
+"""Tracer: event capture, bundle save/load, metadata aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simmpi import Engine, IdealPlatform
+from repro.tracer import TraceBundle, Tracer, trace_run
+
+
+def simple_app(ctx):
+    fh = ctx.file_open("data")
+    fh.write_at_all(ctx.rank * 1024, 1024)
+    fh.seek(ctx.rank * 10)
+    fh.read(100)
+    fh.close()
+    ctx.barrier()
+
+
+class TestTracer:
+    def test_trace_run_captures_all_ops(self):
+        bundle = trace_run(simple_app, 4)
+        assert bundle.nprocs == 4
+        assert len(bundle.records) == 8  # 1 write + 1 read per rank
+        assert bundle.nfiles == 1
+        assert bundle.total_bytes == 4 * (1024 + 100)
+
+    def test_by_rank_ordering(self):
+        bundle = trace_run(simple_app, 2)
+        for rank in (0, 1):
+            recs = bundle.by_rank(rank)
+            assert [r.kind for r in recs] == ["write", "read"]
+            assert all(r.rank == rank for r in recs)
+
+    def test_manual_attach(self):
+        tracer = Tracer()
+        engine = Engine(2, platform=IdealPlatform())
+        tracer.attach(engine)
+        engine.run(simple_app)
+        bundle = tracer.finish(engine)
+        assert len(bundle.records) == 4
+
+    def test_metadata_captured(self):
+        bundle = trace_run(simple_app, 2)
+        (f,) = bundle.metadata.files
+        assert f.access_type == "shared"
+        assert f.collective and f.noncollective
+        assert "explicit" in f.pointer_kinds
+        assert "individual" in f.pointer_kinds
+
+
+class TestBundlePersistence:
+    def test_save_and_load(self, tmp_path):
+        bundle = trace_run(simple_app, 3)
+        bundle.save(tmp_path / "t")
+        assert (tmp_path / "t" / "trace.0").exists()
+        assert (tmp_path / "t" / "metadata.json").exists()
+        back = TraceBundle.load(tmp_path / "t")
+        assert back.nprocs == 3
+        assert len(back.records) == len(bundle.records)
+        assert back.metadata.files[0].filename == \
+            bundle.metadata.files[0].filename
+
+    def test_loaded_bundle_builds_same_model(self, tmp_path):
+        from repro.core.model import IOModel
+
+        bundle = trace_run(simple_app, 4)
+        bundle.save(tmp_path / "t")
+        back = TraceBundle.load(tmp_path / "t")
+        m1 = IOModel.from_trace(bundle)
+        m2 = IOModel.from_trace(back)
+        assert m1.nphases == m2.nphases
+        assert [p.weight for p in m1.phases] == [p.weight for p in m2.phases]

@@ -1,0 +1,76 @@
+"""Metadata summaries: paper-style statements, serialization."""
+
+from __future__ import annotations
+
+from repro.simmpi.fileio import SimFile
+from repro.tracer.metadata import AppMetadata, FileMetadataSummary, summarize_file
+
+
+def make_summary(**kw) -> FileMetadataSummary:
+    defaults = dict(filename="f", file_id=0, pointer_kinds=("individual",),
+                    collective=False, noncollective=True,
+                    access_mode="sequential", access_type="shared",
+                    etype_size=1, size_bytes=0, openers=4)
+    defaults.update(kw)
+    return FileMetadataSummary(**defaults)
+
+
+class TestStatements:
+    def test_madbench_style(self):
+        """The paper's MADbench2 bullets."""
+        s = make_summary()
+        text = " / ".join(s.statements())
+        assert "Individual file pointers" in text
+        assert "Non-collective I/O operations" in text
+        assert "Sequential access mode" in text
+        assert "Shared access type" in text
+        assert "set_view" not in text
+
+    def test_btio_style(self):
+        """The paper's BT-IO bullets, including the etype mention."""
+        s = make_summary(pointer_kinds=("explicit",), collective=True,
+                         noncollective=False, access_mode="strided",
+                         etype_size=40)
+        text = " / ".join(s.statements())
+        assert "Explicit offset" in text
+        assert "Collective operations" in text
+        assert "Strided access mode" in text
+        assert "MPI_File_set_view with etype of 40" in text
+
+    def test_mixed_collective(self):
+        s = make_summary(collective=True, noncollective=True)
+        assert any("Collective and non-collective" in line
+                   for line in s.statements())
+
+
+class TestSummarizeFile:
+    def test_flags_reflected(self):
+        f = SimFile(3, "out.dat", unique=False)
+        f.meta.used_explicit_offset = True
+        f.meta.used_collective = True
+        f.size = 4096
+        f.openers.update({0, 1})
+        s = summarize_file(f)
+        assert s.file_id == 3 and s.filename == "out.dat"
+        assert s.pointer_kinds == ("explicit",)
+        assert s.collective and not s.noncollective
+        assert s.size_bytes == 4096 and s.openers == 2
+
+    def test_unique_file(self):
+        f = SimFile(0, "out.dat.2", unique=True)
+        assert summarize_file(f).access_type == "unique"
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        meta = AppMetadata(files=[make_summary(), make_summary(
+            filename="g", file_id=1, pointer_kinds=("explicit", "shared"))])
+        back = AppMetadata.from_dict(meta.to_dict())
+        assert back.files == meta.files
+
+    def test_by_file_id(self):
+        meta = AppMetadata(files=[make_summary(file_id=7)])
+        assert meta.by_file_id(7).filename == "f"
+        import pytest
+        with pytest.raises(KeyError):
+            meta.by_file_id(0)
