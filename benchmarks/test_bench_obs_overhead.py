@@ -1,0 +1,100 @@
+"""Observability overhead: instrumentation must be free when disabled.
+
+The obs layer promises "zero-cost when no sink is attached": every
+instrumentation site is one ``if obs.ACTIVE`` branch (or one no-op
+singleton).  This bench makes the promise checkable:
+
+1. time the characterization pipeline with observability disabled;
+2. rerun it enabled and count every guard site actually executed
+   (spans + events + metric updates);
+3. time the guard itself in a tight loop -- a deliberate overestimate,
+   since the loop bookkeeping is counted as guard cost;
+4. assert the total guard cost stays under 5% of the pipeline time.
+
+An enabled run is also timed for reference (it pays for real span and
+metric collection, so it has no bound here).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.apps.synthetic import SyntheticParams, synthetic_program
+from repro.core.pipeline import characterize_app
+
+from bench_common import once
+
+BUDGET_FRACTION = 0.05
+
+
+def _pipeline():
+    return characterize_app(synthetic_program, 4, SyntheticParams(),
+                            app_name="synthetic")
+
+
+def _guard_site_count(tracer, registry) -> int:
+    """Guard evaluations an instrumented run performs (conservative)."""
+    n = len(tracer.spans) + len(tracer.events)
+    for name in ("engine_runs_total", "engine_ops_total",
+                 "mpi_collectives_total", "mpi_p2p_total",
+                 "device_transfers_total", "globalfs_accesses_total"):
+        fam = registry.get(name)
+        if fam is None:
+            continue
+        n += int(sum(child.value for _, child in fam.samples()))
+    fam = registry.get("resource_wait_seconds")
+    if fam is not None:
+        n += sum(child.count for _, child in fam.samples())
+    return n
+
+
+def _guard_unit_cost(samples: int = 200_000) -> float:
+    """Seconds per disabled-guard evaluation, loop overhead included."""
+    assert not obs.ACTIVE
+    t0 = time.perf_counter()
+    for _ in range(samples):
+        if obs.ACTIVE:
+            raise AssertionError("obs must stay disabled here")
+    return (time.perf_counter() - t0) / samples
+
+
+def test_disabled_instrumentation_within_budget(benchmark):
+    obs.disable()
+    t0 = time.perf_counter()
+    _pipeline()
+    t_disabled = time.perf_counter() - t0
+
+    tracer, registry = obs.enable()
+    try:
+        _pipeline()
+        sites = _guard_site_count(tracer, registry)
+    finally:
+        obs.disable()
+    assert sites > 0  # the pipeline is actually instrumented
+
+    unit = _guard_unit_cost()
+    guard_cost = sites * unit
+    print(f"\npipeline {t_disabled * 1e3:.1f} ms disabled; "
+          f"{sites} guard sites x {unit * 1e9:.1f} ns "
+          f"= {guard_cost * 1e6:.1f} us "
+          f"({100 * guard_cost / t_disabled:.3f}% of runtime)")
+    assert guard_cost < BUDGET_FRACTION * t_disabled
+
+    model, _ = once(benchmark, _pipeline)
+    assert model.nphases >= 1
+
+
+def test_enabled_collection_reference(benchmark):
+    """Reference timing of a fully-collected run (no bound asserted)."""
+    def run():
+        tracer, registry = obs.enable()
+        try:
+            model, _ = _pipeline()
+            return model, tracer.finish(), registry
+        finally:
+            obs.disable()
+
+    model, spans, registry = once(benchmark, run)
+    assert model.nphases >= 1
+    assert spans and registry.get("io_bytes_total").samples()

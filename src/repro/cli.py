@@ -9,17 +9,25 @@ Subcommands mirror the methodology's stages::
     repro-io select    --model mb2.model.json --configs configuration-C,finisterrae
     repro-io replay    --model mb2.model.json --config finisterrae
     repro-io signatures --model mb2.model.json
+    repro-io profile   --app madbench2 --np 16 --config configuration-A --out prof/
     repro-io configs
 
 Applications: madbench2, btio-A/B/C/D, synthetic, ior, roms.
+
+``trace``, ``usage`` and ``replay`` accept ``--metrics`` to collect and
+print the observability registry; ``profile`` runs the whole usage
+pipeline with full instrumentation and writes JSON-lines, Chrome
+trace_event and Prometheus artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
+from repro import __version__, obs
 from repro.apps.btio import BTIOParams, btio_program
 from repro.apps.ior import IORParams, ior_program
 from repro.apps.madbench2 import MADbench2Params, madbench2_program
@@ -42,20 +50,39 @@ from repro.tracer.hooks import TraceBundle
 
 
 def _app_for(name: str, np: int):
-    """Resolve an app name to (program, params)."""
+    """Resolve an app name to (program, params).
+
+    ``np`` always sets the simulated rank count (the engine runs the
+    program on ``np`` ranks); additionally it is threaded into any
+    params dataclass that declares an ``np`` field (IOR), so the two
+    never disagree.  Process-count constraints (MADbench2 and BT-IO
+    need a square count) are validated here, turning what used to be a
+    mid-run engine failure into an immediate, readable error.
+    """
     if name == "madbench2":
-        return madbench2_program, MADbench2Params()
-    if name.startswith("btio"):
+        program, params = madbench2_program, MADbench2Params()
+    elif name.startswith("btio"):
         cls = name.split("-")[1] if "-" in name else "C"
-        return btio_program, BTIOParams(cls=cls)
-    if name == "synthetic":
-        return synthetic_program, SyntheticParams()
-    if name == "ior":
-        return ior_program, IORParams(np=np)
-    if name == "roms":
-        return roms_program, ROMSParams()
-    raise SystemExit(f"unknown app {name!r} "
-                     "(madbench2, btio-A/B/C/D, synthetic, ior, roms)")
+        program, params = btio_program, BTIOParams(cls=cls)
+    elif name == "synthetic":
+        program, params = synthetic_program, SyntheticParams()
+    elif name == "ior":
+        program, params = ior_program, IORParams()
+    elif name == "roms":
+        program, params = roms_program, ROMSParams()
+    else:
+        raise SystemExit(f"unknown app {name!r} "
+                         "(madbench2, btio-A/B/C/D, synthetic, ior, roms)")
+    if np <= 0:
+        raise SystemExit(f"--np must be positive, got {np}")
+    if name == "madbench2" or name.startswith("btio"):
+        root = int(round(np ** 0.5))
+        if root * root != np:
+            raise SystemExit(
+                f"{name} requires a square number of processes, got --np {np}")
+    if any(f.name == "np" for f in dataclasses.fields(params)):
+        params = dataclasses.replace(params, np=np)
+    return program, params
 
 
 def _factory_for(name: str):
@@ -153,6 +180,32 @@ def cmd_signatures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Fully-instrumented usage pipeline + the three export artifacts."""
+    from repro.obs.profile import ProfileSession
+
+    program, params = _app_for(args.app, args.np)
+    factory = _factory_for(args.config)
+    with ProfileSession() as prof:
+        model, _ = characterize_app(program, args.np, params,
+                                    app_name=args.app)
+        est = estimate_on(model, factory, config_name=args.config)
+        measure, mmodel = measure_on(program, args.np, params,
+                                     cluster_factory=factory,
+                                     app_name=args.app)
+        peaks = characterize_peaks_for(factory)
+        ev = evaluate(mmodel, est, measure, peaks=peaks)
+    paths = prof.write(args.out)
+    print(usage_table(ev))
+    print()
+    print(prof.summary())
+    print()
+    print(f"profiled {args.app} (np={args.np}) on {args.config}; wrote:")
+    for kind, path in paths.items():
+        print(f"  {path}  ({kind})")
+    return 0
+
+
 def cmd_configs(args: argparse.Namespace) -> int:
     descs = [f().description for f in ALL_CONFIGURATIONS.values()]
     print(configuration_table(descs, title="Available I/O configurations "
@@ -165,12 +218,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-io",
         description="I/O-phase modeling methodology (Mendez et al., CLUSTER 2012)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("trace", help="trace an application, extract its model")
     p.add_argument("--app", required=True)
     p.add_argument("--np", type=int, default=16)
     p.add_argument("--out", required=True)
+    p.add_argument("--metrics", action="store_true",
+                   help="collect and print the observability metrics")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("model", help="rebuild/print a model from saved traces")
@@ -188,6 +245,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--app", required=True)
     p.add_argument("--np", type=int, default=16)
     p.add_argument("--config", required=True)
+    p.add_argument("--metrics", action="store_true",
+                   help="collect and print the observability metrics")
     p.set_defaults(func=cmd_usage)
 
     p = sub.add_parser("select", help="choose the configuration with least I/O time")
@@ -199,11 +258,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("replay", help="synthesize and measure a model's replay")
     p.add_argument("--model", required=True)
     p.add_argument("--config", required=True)
+    p.add_argument("--metrics", action="store_true",
+                   help="collect and print the observability metrics")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("signatures", help="classify a model's access patterns")
     p.add_argument("--model", required=True)
     p.set_defaults(func=cmd_signatures)
+
+    p = sub.add_parser(
+        "profile",
+        help="instrumented usage pipeline + span/metrics/trace artifacts")
+    p.add_argument("--app", required=True)
+    p.add_argument("--np", type=int, default=16)
+    p.add_argument("--config", required=True)
+    p.add_argument("--out", required=True,
+                   help="directory for events.jsonl, trace.chrome.json, "
+                        "metrics.prom")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("configs", help="list the modeled I/O configurations")
     p.set_defaults(func=cmd_configs)
@@ -212,6 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "metrics", False):
+        from repro.obs.export import render_prometheus
+
+        obs.enable()
+        try:
+            rc = args.func(args)
+            if rc == 0:
+                print()
+                print("Collected metrics (Prometheus text format):")
+                print(render_prometheus(obs.registry()), end="")
+            return rc
+        finally:
+            obs.disable()
     return args.func(args)
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.simmpi.engine import IdealPlatform
 from repro.tracer.hooks import TraceBundle, trace_run
 
@@ -47,25 +48,38 @@ def characterize_app(program: Callable, nprocs: int, *args,
     offset functions are identical whatever platform is used; only the
     measured durations differ).
     """
-    bundle = trace_run(program, nprocs, platform or IdealPlatform(), *args)
-    model = IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol)
+    with obs.span("pipeline.characterize", cat="pipeline", app=app_name,
+                  np=nprocs) as sp:
+        bundle = trace_run(program, nprocs, platform or IdealPlatform(), *args)
+        model = IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol)
+        sp.annotate(nphases=model.nphases, events=len(bundle.records))
     return model, bundle
 
 
 def estimate_on(model: IOModel, cluster_factory: ClusterFactory,
                 config_name: str = "config") -> EstimateReport:
     """Stage 2: IOR replication of each phase on the target (eqs. 1-2)."""
-    return estimate_model(model.phases, cluster_factory, config_name=config_name)
+    with obs.span("pipeline.estimate", cat="pipeline", app=model.app_name,
+                  config=config_name):
+        report = estimate_model(model.phases, cluster_factory,
+                                config_name=config_name)
+    if obs.ACTIVE:
+        for p in report.phases:
+            obs.set_gauge("phase_bw_ch_mb_s", p.bw_ch_mb_s,
+                          config=config_name, phase=str(p.phase_id))
+    return report
 
 
 def measure_on(program: Callable, nprocs: int, *args,
                cluster_factory: ClusterFactory, app_name: str = "app",
                tick_tol: int = 16) -> tuple[MeasureReport, IOModel]:
     """Stage 3 (validation): run the app on the target and measure phases."""
-    cluster = cluster_factory()
-    bundle = trace_run(program, nprocs, cluster, *args)
-    model = IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol)
-    return measure_phases(model.phases, config_name=app_name), model
+    with obs.span("pipeline.measure", cat="pipeline", app=app_name,
+                  np=nprocs):
+        cluster = cluster_factory()
+        bundle = trace_run(program, nprocs, cluster, *args)
+        model = IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol)
+        return measure_phases(model.phases, config_name=app_name), model
 
 
 @dataclass
@@ -152,6 +166,9 @@ def evaluate(model: IOModel, estimate: EstimateReport, measure: MeasureReport,
             time_md=md.time_md,
             bw_pk_mb_s=bw_pk,
         ))
+    if obs.ACTIVE:
+        obs.event("pipeline.evaluate", cat="pipeline",
+                  config=ev.config_name, rows=len(ev.rows))
     return ev
 
 
@@ -174,23 +191,26 @@ def full_study(program: Callable, nprocs: int, *args,
     validate (measure) on some of them.  Returns a dict with the model,
     per-config estimates, measurements, evaluations and the selection.
     """
-    model, bundle = characterize_app(program, nprocs, *args,
-                                     app_name=app_name, tick_tol=tick_tol)
-    estimates = {
-        name: estimate_on(model, factory, config_name=name)
-        for name, factory in cluster_factories.items()
-    }
-    evaluations = {}
-    for name in measure_configs:
-        factory = cluster_factories[name]
-        measure, measured_model = measure_on(
-            program, nprocs, *args, cluster_factory=factory,
-            app_name=app_name, tick_tol=tick_tol)
-        peaks = characterize_peaks_for(factory)
-        evaluations[name] = evaluate(measured_model, estimates[name],
-                                     measure, peaks=peaks)
-    totals = {name: est.total_time_ch for name, est in estimates.items()}
-    best = min(totals, key=totals.get)
+    with obs.span("pipeline.full_study", cat="pipeline", app=app_name,
+                  np=nprocs) as sp:
+        model, bundle = characterize_app(program, nprocs, *args,
+                                         app_name=app_name, tick_tol=tick_tol)
+        estimates = {
+            name: estimate_on(model, factory, config_name=name)
+            for name, factory in cluster_factories.items()
+        }
+        evaluations = {}
+        for name in measure_configs:
+            factory = cluster_factories[name]
+            measure, measured_model = measure_on(
+                program, nprocs, *args, cluster_factory=factory,
+                app_name=app_name, tick_tol=tick_tol)
+            peaks = characterize_peaks_for(factory)
+            evaluations[name] = evaluate(measured_model, estimates[name],
+                                         measure, peaks=peaks)
+        totals = {name: est.total_time_ch for name, est in estimates.items()}
+        best = min(totals, key=totals.get)
+        sp.annotate(best=best)
     return {
         "model": model,
         "trace": bundle,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.simmpi.context import RankContext
 from repro.simmpi.engine import Engine, Platform
 from repro.simmpi.fileio import IOEvent
@@ -94,9 +95,12 @@ def replay_phase(phase: Phase, platform: Platform,
         filename=f"replay.phase{phase.phase_id}",
     )
     events: list[IOEvent] = []
-    engine = Engine(phase.np, platform=platform)
-    engine.add_io_hook(events.append)
-    run = engine.run(_replay_program, spec)
+    with obs.span("replay.phase", cat="replay", phase=phase.phase_id,
+                  np=phase.np, rep=spec.rep) as sp:
+        engine = Engine(phase.np, platform=platform)
+        engine.add_io_hook(events.append)
+        run = engine.run(_replay_program, spec)
+        sp.annotate(events=len(events))
 
     begin = min(e.time for e in events)
     end = max(e.time + e.duration for e in events)

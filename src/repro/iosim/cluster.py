@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.simmpi.engine import IORequest
 
 from .collective import two_phase_io
@@ -72,6 +73,9 @@ class Cluster:
         access = Access(start=req.start, client=client, runs=list(req.runs),
                         kind=req.kind, file_id=req.file_id)
         end = self.globalfs.service(access)
+        if obs.ACTIVE:
+            obs.inc("globalfs_accesses_total", config=self.name,
+                    fs=self.globalfs.name, kind=req.kind)
         return max(0.0, end - req.start)
 
     def service_collective_io(self, reqs: Sequence[IORequest], start: float) -> dict[int, float]:
@@ -80,6 +84,10 @@ class Cluster:
         end = two_phase_io(reqs, start, self.globalfs, clients,
                            self.compute_net, cb_nodes=self.cb_nodes)
         dur = max(0.0, end - start)
+        if obs.ACTIVE:
+            obs.inc("globalfs_accesses_total", amount=len(reqs),
+                    config=self.name, fs=self.globalfs.name,
+                    kind=reqs[0].kind if reqs else "write")
         return {r.rank: dur for r in reqs}
 
     def comm_time(self, nbytes: int, nranks: int, pattern: str, start: float) -> float:

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro import obs
+
 from .device import SECTOR_BYTES
 
 
@@ -50,6 +52,11 @@ class DeviceMonitor:
 
     def record(self, device: str, begin: float, end: float, nbytes: int, kind: str) -> None:
         self.samples.append(TransferSample(device, begin, end, nbytes, kind))
+        # The monitor doubles as the device-level feed of the metrics
+        # registry: consumers read device totals from ``repro.obs``
+        # counters instead of poking at the private sample list.
+        if obs.ACTIVE:
+            obs.observe_device_transfer(device, begin, end, nbytes, kind)
 
     def devices(self) -> list[str]:
         return sorted({s.device for s in self.samples})
@@ -60,6 +67,12 @@ class DeviceMonitor:
         A transfer spanning several buckets contributes proportionally to
         each (its bytes and busy time are spread uniformly over its
         duration), matching how iostat attributes activity to intervals.
+
+        Implemented as a single sweep over sample boundaries: each
+        transfer becomes a pair of rate-change events (+rate at begin,
+        -rate at end) and one pass integrates the piecewise-constant
+        rates across bucket edges -- O((S + B) log S) instead of the
+        naive O(S x spanned buckets) per-sample inner loop.
         """
         if bucket <= 0:
             raise ValueError("bucket must be positive")
@@ -69,24 +82,44 @@ class DeviceMonitor:
         horizon = max(s.end for s in dev_samples)
         nbuckets = max(1, math.ceil(horizon / bucket))
         rows = [BucketRow(time=i * bucket) for i in range(nbuckets)]
+        # Rate-change events: (time, d_write_rate, d_read_rate, d_busy).
+        boundaries: list[tuple[float, float, float, float]] = []
         for s in dev_samples:
-            dur = max(s.end - s.begin, 1e-12)
-            first = int(s.begin // bucket)
-            last = min(int(s.end // bucket), nbuckets - 1)
-            for i in range(first, last + 1):
-                lo = max(s.begin, i * bucket)
-                hi = min(s.end, (i + 1) * bucket)
-                if hi <= lo:
-                    continue
-                frac = (hi - lo) / dur
-                sectors = s.nbytes * frac / SECTOR_BYTES
-                if s.kind == "write":
-                    rows[i].sectors_written_per_s += sectors / bucket
+            dur = s.end - s.begin
+            if dur <= 0:
+                continue  # instantaneous transfer: no interval to spread
+            rate = s.nbytes / dur  # bytes/s, uniform over the transfer
+            w, r = (rate, 0.0) if s.kind == "write" else (0.0, rate)
+            boundaries.append((s.begin, w, r, 1.0))
+            boundaries.append((s.end, -w, -r, -1.0))
+        boundaries.sort(key=lambda e: e[0])
+        wrate = rrate = brate = 0.0
+        idx, nevents = 0, len(boundaries)
+        t = 0.0
+        for i, row in enumerate(rows):
+            b_end = (i + 1) * bucket
+            wbytes = rbytes = busy = 0.0
+            t = max(t, i * bucket)
+            while True:
+                t_next = boundaries[idx][0] if idx < nevents else b_end
+                seg_end = min(t_next, b_end)
+                if seg_end > t:
+                    dt = seg_end - t
+                    wbytes += wrate * dt
+                    rbytes += rrate * dt
+                    busy += brate * dt
+                    t = seg_end
+                if idx < nevents and boundaries[idx][0] <= b_end:
+                    _, dw, dr, db = boundaries[idx]
+                    wrate += dw
+                    rrate += dr
+                    brate += db
+                    idx += 1
                 else:
-                    rows[i].sectors_read_per_s += sectors / bucket
-                rows[i].busy_fraction += (hi - lo) / bucket
-        for r in rows:
-            r.busy_fraction = min(1.0, r.busy_fraction)
+                    break
+            row.sectors_written_per_s = wbytes / SECTOR_BYTES / bucket
+            row.sectors_read_per_s = rbytes / SECTOR_BYTES / bucket
+            row.busy_fraction = min(1.0, busy / bucket)
         return rows
 
     def total_bytes(self, device: str | None = None, kind: str | None = None) -> int:

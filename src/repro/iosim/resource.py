@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 @dataclass
 class Resource:
@@ -36,6 +38,8 @@ class Resource:
         self.next_free = end
         self.busy_time += cost
         self.total_requests += 1
+        if obs.ACTIVE:
+            obs.observe_resource_wait(self.name, begin - start, cost)
         return begin, end
 
     def utilization(self, horizon: float) -> float:

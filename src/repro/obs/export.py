@@ -1,0 +1,196 @@
+"""Exporters: JSON-lines, Chrome ``trace_event``, Prometheus text.
+
+Three views of one observed run:
+
+* **JSON lines** (``events.jsonl``) -- one self-describing object per
+  span/event/metric sample; the machine-friendly archive format.
+* **Chrome trace_event** (``trace.chrome.json``) -- loadable in
+  Perfetto / ``chrome://tracing``.  Virtual-clock spans land in a
+  "virtual time" process with one thread per simulated rank, which
+  renders the paper's phase-aligned timeline (Fig. 8); wall-clock
+  pipeline spans land in a separate "wall clock" process.  Events are
+  emitted sorted by ``(pid, tid, ts)`` so ``ts`` is monotonic per
+  track.
+* **Prometheus text** (``metrics.prom``) -- the classic
+  ``# HELP/# TYPE`` exposition format, histograms with cumulative
+  ``le`` buckets, ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .metrics import Histogram, MetricsRegistry
+from .spans import Event, Span, VIRTUAL
+
+#: Chrome trace pids: one process per clock domain.
+PID_WALL = 1
+PID_VIRTUAL = 2
+
+
+# -- JSON lines ----------------------------------------------------------------
+
+def span_to_json(sp: Span) -> dict:
+    return {
+        "type": "span",
+        "id": sp.span_id,
+        "parent": sp.parent_id,
+        "name": sp.name,
+        "cat": sp.cat,
+        "tid": sp.tid,
+        "clock": sp.clock,
+        "start": sp.start,
+        "duration": sp.duration,
+        "attrs": sp.attrs,
+    }
+
+
+def event_to_json(ev: Event) -> dict:
+    return {
+        "type": "event",
+        "name": ev.name,
+        "cat": ev.cat,
+        "tid": ev.tid,
+        "clock": ev.clock,
+        "ts": ev.ts,
+        "attrs": ev.attrs,
+    }
+
+
+def metric_samples(registry: MetricsRegistry) -> Iterable[dict]:
+    for fam in registry.families():
+        for values, child in fam.samples():
+            labels = dict(zip(fam.labelnames, values))
+            if isinstance(child, Histogram):
+                yield {
+                    "type": "metric", "kind": "histogram", "name": fam.name,
+                    "labels": labels, "sum": child.sum, "count": child.count,
+                    "buckets": [[le, c] for le, c in child.cumulative()
+                                if not math.isinf(le)],
+                }
+            else:
+                yield {
+                    "type": "metric", "kind": child.kind, "name": fam.name,
+                    "labels": labels, "value": child.value,
+                }
+
+
+def write_jsonl(path: str | Path, spans: Sequence[Span],
+                events: Sequence[Event],
+                registry: MetricsRegistry | None = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fp:
+        for sp in spans:
+            fp.write(json.dumps(span_to_json(sp)) + "\n")
+        for ev in events:
+            fp.write(json.dumps(event_to_json(ev)) + "\n")
+        if registry is not None:
+            for sample in metric_samples(registry):
+                fp.write(json.dumps(sample) + "\n")
+    return path
+
+
+# -- Chrome trace_event --------------------------------------------------------
+
+def _chrome_args(attrs: dict) -> dict:
+    # trace_event args must be JSON-encodable; stringify anything odd.
+    out = {}
+    for k, v in attrs.items():
+        out[k] = v if isinstance(v, (int, float, str, bool, type(None))) else str(v)
+    return out
+
+
+def chrome_trace_events(spans: Sequence[Span],
+                        events: Sequence[Event]) -> list[dict]:
+    """Build the ``traceEvents`` list, sorted so ts is monotonic per tid."""
+    out: list[dict] = []
+    pids = set()
+    tids = set()
+    for sp in spans:
+        pid = PID_VIRTUAL if sp.clock == VIRTUAL else PID_WALL
+        pids.add(pid)
+        tids.add((pid, sp.tid))
+        out.append({
+            "name": sp.name, "cat": sp.cat, "ph": "X",
+            "ts": sp.start * 1e6, "dur": sp.duration * 1e6,
+            "pid": pid, "tid": sp.tid, "args": _chrome_args(sp.attrs),
+        })
+    for ev in events:
+        pid = PID_VIRTUAL if ev.clock == VIRTUAL else PID_WALL
+        pids.add(pid)
+        tids.add((pid, ev.tid))
+        out.append({
+            "name": ev.name, "cat": ev.cat, "ph": "i",
+            "ts": ev.ts * 1e6, "s": "t",
+            "pid": pid, "tid": ev.tid, "args": _chrome_args(ev.attrs),
+        })
+    out.sort(key=lambda e: (e["pid"], str(e["tid"]), e["ts"]))
+    meta: list[dict] = []
+    names = {PID_WALL: "wall clock", PID_VIRTUAL: "virtual time"}
+    for pid in sorted(pids):
+        meta.append({"name": "process_name", "ph": "M", "pid": pid, "tid": "",
+                     "args": {"name": names[pid]}})
+    for pid, tid in sorted(tids, key=lambda x: (x[0], str(x[1]))):
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                     "args": {"name": str(tid)}})
+    return meta + out
+
+
+def write_chrome_trace(path: str | Path, spans: Sequence[Span],
+                       events: Sequence[Event]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"traceEvents": chrome_trace_events(spans, events),
+               "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+# -- Prometheus text -----------------------------------------------------------
+
+def _fmt_labels(labelnames: Sequence[str], values: Sequence[str],
+                extra: tuple[str, str] | None = None) -> str:
+    parts = [f'{k}="{v}"' for k, v in zip(labelnames, values)]
+    if extra is not None:
+        parts.append(f'{extra[0]}="{extra[1]}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The full registry in Prometheus exposition format."""
+    lines: list[str] = []
+    for fam in registry.families():
+        lines.append(f"# HELP {fam.name} {fam.help}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for values, child in fam.samples():
+            if isinstance(child, Histogram):
+                for le, acc in child.cumulative():
+                    labels = _fmt_labels(fam.labelnames, values,
+                                         extra=("le", _fmt_value(le)))
+                    lines.append(f"{fam.name}_bucket{labels} {acc}")
+                base = _fmt_labels(fam.labelnames, values)
+                lines.append(f"{fam.name}_sum{base} {_fmt_value(child.sum)}")
+                lines.append(f"{fam.name}_count{base} {child.count}")
+            else:
+                labels = _fmt_labels(fam.labelnames, values)
+                lines.append(f"{fam.name}{labels} {_fmt_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str | Path, registry: MetricsRegistry) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_prometheus(registry))
+    return path

@@ -1,0 +1,145 @@
+"""Profiling session: enable -> run -> export -> summarize.
+
+The one-stop wrapper behind ``repro-io profile``::
+
+    with ProfileSession() as prof:
+        model, _ = characterize_app(program, np, params)
+        ...
+    paths = prof.write(Path("prof"))
+    print(prof.summary())
+
+``write`` emits the three artifact formats side by side:
+
+* ``events.jsonl``      -- JSON-lines spans/events/metric samples
+* ``trace.chrome.json`` -- Chrome trace_event (Perfetto-loadable)
+* ``metrics.prom``      -- Prometheus text exposition
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.report.tables import render
+
+from . import disable, enable
+from .export import write_chrome_trace, write_jsonl, write_prometheus
+from .metrics import Histogram, MetricsRegistry
+from .spans import Event, Span, SpanTracer, WALL
+
+MB = 1024 * 1024
+
+#: Artifact filenames produced by :meth:`ProfileSession.write`.
+JSONL_NAME = "events.jsonl"
+CHROME_NAME = "trace.chrome.json"
+PROM_NAME = "metrics.prom"
+
+
+class ProfileSession:
+    """Context manager owning one observed run's sinks and artifacts."""
+
+    def __init__(self, tracer: SpanTracer | None = None,
+                 registry: MetricsRegistry | None = None):
+        self._tracer_arg = tracer
+        self._registry_arg = registry
+        self.tracer: SpanTracer | None = None
+        self.registry: MetricsRegistry | None = None
+        self.spans: list[Span] = []
+        self.events: list[Event] = []
+
+    def __enter__(self) -> "ProfileSession":
+        self.tracer, self.registry = enable(self._tracer_arg,
+                                            self._registry_arg)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.spans = self.tracer.finish()
+        self.events = list(self.tracer.events)
+        disable()
+        return False
+
+    # -- artifacts -------------------------------------------------------------
+    def write(self, out_dir: str | Path) -> dict[str, Path]:
+        """Write all three artifacts into ``out_dir``; returns their paths."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        return {
+            "jsonl": write_jsonl(out_dir / JSONL_NAME, self.spans,
+                                 self.events, self.registry),
+            "chrome": write_chrome_trace(out_dir / CHROME_NAME, self.spans,
+                                         self.events),
+            "prometheus": write_prometheus(out_dir / PROM_NAME,
+                                           self.registry),
+        }
+
+    # -- terminal summary ------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable digest: stage times, I/O totals, busiest waits."""
+        return "\n\n".join(filter(None, [
+            self._stage_table(),
+            self._io_table(),
+            self._wait_table(),
+        ]))
+
+    def _stage_table(self) -> str:
+        rows = {}
+        for sp in self.spans:
+            if sp.clock != WALL:
+                continue
+            key = (sp.cat, sp.name)
+            count, total = rows.get(key, (0, 0.0))
+            rows[key] = (count + 1, total + sp.duration)
+        if not rows:
+            return ""
+        body = [[cat, name, count, f"{total:.3f}"]
+                for (cat, name), (count, total)
+                in sorted(rows.items(), key=lambda kv: -kv[1][1])]
+        return render(["category", "span", "count", "wall s"], body,
+                      title="Wall-clock spans")
+
+    def _io_table(self) -> str:
+        fam_ops = self.registry.get("io_operations_total")
+        fam_bytes = self.registry.get("io_bytes_total")
+        fam_secs = self.registry.get("io_operation_seconds")
+        if fam_bytes is None:
+            return ""
+        ops = {}
+        for values, child in (fam_ops.samples() if fam_ops else []):
+            labels = dict(zip(fam_ops.labelnames, values))
+            ops[labels["kind"]] = ops.get(labels["kind"], 0) + child.value
+        secs = {}
+        for values, child in (fam_secs.samples() if fam_secs else []):
+            labels = dict(zip(fam_secs.labelnames, values))
+            if isinstance(child, Histogram):
+                secs[labels["kind"]] = child.sum
+        body = []
+        for values, child in fam_bytes.samples():
+            kind = dict(zip(fam_bytes.labelnames, values))["kind"]
+            vsec = secs.get(kind, 0.0)
+            bw = child.value / MB / vsec if vsec > 0 else 0.0
+            body.append([kind, int(ops.get(kind, 0)),
+                         f"{child.value / MB:.1f}", f"{vsec:.2f}",
+                         f"{bw:.1f}"])
+        if not body:
+            return ""
+        return render(["kind", "ops", "MB", "virtual s", "MB/s"], body,
+                      title="Traced I/O")
+
+    def _wait_table(self, top: int = 8) -> str:
+        fam = self.registry.get("resource_wait_seconds")
+        if fam is None:
+            return ""
+        body = []
+        for values, child in fam.samples():
+            name = dict(zip(fam.labelnames, values))["resource"]
+            if child.count == 0:
+                continue
+            body.append((child.sum, [name, child.count,
+                                     f"{child.sum:.3f}",
+                                     f"{child.sum / child.count * 1e3:.3f}"]))
+        if not body:
+            return ""
+        body.sort(key=lambda r: -r[0])
+        return render(["resource", "acquisitions", "total wait s",
+                       "mean wait ms"],
+                      [row for _, row in body[:top]],
+                      title=f"Busiest queue waits (top {top})")

@@ -25,6 +25,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, Sequence
 
+from repro import obs
+
 from .errors import (
     CollectiveMismatch,
     DeadlockError,
@@ -226,6 +228,8 @@ class Engine:
     def emit_io_event(self, record: Any) -> None:
         for hook in self._io_hooks:
             hook(record)
+        if obs.ACTIVE:
+            obs.observe_io_event(record)
 
     # -- file registry (used by fileio) ---------------------------------------
     def get_file(self, filename: str, factory: Callable[[int], Any]) -> Any:
@@ -243,6 +247,10 @@ class Engine:
         """Execute ``program(ctx, *args)`` on every rank; return RunResult."""
         from .context import RankContext  # local import to avoid cycle
 
+        if obs.ACTIVE:
+            obs.inc("engine_runs_total")
+        run_span = obs.span("engine.run", cat="engine", nprocs=self.nprocs,
+                            platform=type(self.platform).__name__)
         contexts = [RankContext(self, r) for r in range(self.nprocs)]
         for st, ctx in zip(self._states, contexts):
             st.thread = threading.Thread(
@@ -255,7 +263,8 @@ class Engine:
             st.thread.start()
 
         try:
-            self._scheduler_loop()
+            with run_span:
+                self._scheduler_loop()
         finally:
             self._abort = True
             for st in self._states:
@@ -271,6 +280,8 @@ class Engine:
             if isinstance(st.exception, SimMPIError):
                 raise st.exception
             raise RankFailedError(st.rank, st.exception) from st.exception
+        run_span.annotate(
+            elapsed=max((st.clock for st in self._states), default=0.0))
         return RunResult(
             clocks={st.rank: st.clock for st in self._states},
             ticks={st.rank: st.tick for st in self._states},
@@ -347,6 +358,8 @@ class Engine:
         op = st.pending
         st.pending = None
         kind = op["kind"]
+        if obs.ACTIVE:
+            obs.inc("engine_ops_total", kind=kind)
         if kind == "local":
             # op["fn"](start) -> (duration, result); ticks charged as given.
             duration, result = op["fn"](st.clock)
@@ -384,6 +397,9 @@ class Engine:
         send_op = op_a if op_a["role"] == "send" else op_b
         t0 = max(st_a.clock, st_b.clock)
         dur = self.platform.comm_time(send_op["nbytes"], 2, "p2p", t0)
+        if obs.ACTIVE:
+            src, dst, _tag = key
+            obs.observe_p2p(src, dst, t0, dur, send_op["nbytes"])
         for st, op in (a, b):
             st.clock = t0 + dur
             st.tick += op.get("ticks", 1)
@@ -440,6 +456,8 @@ class Engine:
         finalize = sample["finalize"]
         # finalize(start, {rank: op}) -> ({rank: duration}, {rank: result})
         durations, results = finalize(t0, ops)
+        if obs.ACTIVE:
+            obs.observe_collective(coll.op, t0, durations)
         for p in parts:
             p.clock = t0 + durations.get(p.rank, 0.0)
             p.tick += ops[p.rank].get("ticks", 1)

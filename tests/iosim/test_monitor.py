@@ -43,6 +43,50 @@ class TestSeries:
         (row,) = mon.series("sda", bucket=1.0)
         assert row.busy_fraction == pytest.approx(1.0)
 
+    def test_long_transfer_spanning_many_buckets(self):
+        """A transfer across many buckets spreads bytes proportionally.
+
+        Regression test for the sweep implementation: previously each
+        sample walked every bucket it spanned; the single-pass rewrite
+        must attribute identical per-bucket shares.
+        """
+        mon = DeviceMonitor()
+        # 10 s transfer starting mid-bucket: covers buckets 0..10.
+        mon.record("sda", 0.25, 10.25, SECTOR_BYTES * 1000, "write")
+        rows = mon.series("sda", bucket=1.0)
+        assert len(rows) == 11
+        # 100 sectors/s uniform rate: 0.75 s in bucket 0, full seconds
+        # in buckets 1..9, the trailing 0.25 s in bucket 10.
+        assert rows[0].sectors_written_per_s == pytest.approx(75)
+        for row in rows[1:10]:
+            assert row.sectors_written_per_s == pytest.approx(100)
+            assert row.busy_fraction == pytest.approx(1.0)
+        assert rows[10].sectors_written_per_s == pytest.approx(25)
+        assert rows[10].busy_fraction == pytest.approx(0.25)
+        total = sum(r.sectors_written_per_s for r in rows)
+        assert total == pytest.approx(1000)
+
+    def test_many_overlapping_transfers_conserve_bytes(self):
+        mon = DeviceMonitor()
+        nbytes = SECTOR_BYTES * 64
+        for i in range(50):
+            begin = 0.1 * i
+            mon.record("sda", begin, begin + 7.3, nbytes, "write")
+            mon.record("sda", begin, begin + 3.1, nbytes, "read")
+        rows = mon.series("sda", bucket=1.0)
+        written = sum(r.sectors_written_per_s for r in rows)
+        read = sum(r.sectors_read_per_s for r in rows)
+        assert written == pytest.approx(50 * 64)
+        assert read == pytest.approx(50 * 64)
+        assert all(r.busy_fraction <= 1.0 for r in rows)
+
+    def test_instantaneous_transfer_ignored(self):
+        mon = DeviceMonitor()
+        mon.record("sda", 1.0, 1.0, SECTOR_BYTES * 10, "write")
+        mon.record("sda", 0.0, 0.5, SECTOR_BYTES * 10, "write")
+        (row,) = mon.series("sda", bucket=1.0)
+        assert row.sectors_written_per_s == pytest.approx(10)
+
     def test_unknown_device_empty(self):
         assert DeviceMonitor().series("nope") == []
 

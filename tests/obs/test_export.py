@@ -1,0 +1,151 @@
+"""Exporters: JSON-lines schema, Chrome trace_event, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    PID_VIRTUAL,
+    PID_WALL,
+    chrome_trace_events,
+    render_prometheus,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+
+def _sample_tracer() -> SpanTracer:
+    tracer = SpanTracer(clock=lambda: 0.0)
+    with tracer.span("pipeline.characterize", cat="pipeline", app="mb2"):
+        pass
+    tracer.record("MPI_File_write_at", "io", "rank 1", 3.0, 0.5, bytes=4096)
+    tracer.record("MPI_File_write_at", "io", "rank 0", 1.0, 0.5, bytes=4096)
+    tracer.record("MPI_File_read_at", "io", "rank 0", 2.0, 0.25)
+    tracer.event("pipeline.evaluate", cat="pipeline", rows=5)
+    return tracer
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("io_bytes_total", "Bytes moved", ("kind",)) \
+        .labels(kind="write").inc(8192)
+    reg.gauge("queue_depth", "Depth").set(2.5)
+    h = reg.histogram("wait_seconds", "Waits", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 7.0):
+        h.observe(v)
+    return reg
+
+
+class TestJsonl:
+    def test_every_line_parses_and_is_typed(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_jsonl(tmp_path / "events.jsonl", tracer.finish(),
+                           tracer.events, _sample_registry())
+        objs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all("type" in o for o in objs)
+        kinds = {o["type"] for o in objs}
+        assert kinds == {"span", "event", "metric"}
+        # 4 spans + 1 event + 3 metric samples.
+        assert len(objs) == 8
+
+    def test_span_schema(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_jsonl(tmp_path / "e.jsonl", tracer.finish(),
+                           tracer.events)
+        spans = [json.loads(l) for l in path.read_text().splitlines()
+                 if json.loads(l)["type"] == "span"]
+        io = [s for s in spans if s["cat"] == "io"]
+        assert {"id", "parent", "name", "tid", "clock", "start",
+                "duration", "attrs"} <= set(io[0])
+        assert io[0]["clock"] == "virtual"
+        assert any(s["attrs"].get("bytes") == 4096 for s in io)
+
+    def test_histogram_sample_has_buckets(self, tmp_path):
+        path = write_jsonl(tmp_path / "e.jsonl", [], [], _sample_registry())
+        metrics = [json.loads(l) for l in path.read_text().splitlines()]
+        (hist,) = [m for m in metrics if m["kind"] == "histogram"]
+        assert hist["count"] == 3
+        assert hist["buckets"] == [[0.1, 1], [1.0, 2]]  # finite les only
+
+
+class TestChromeTrace:
+    def test_two_processes_and_metadata(self):
+        tracer = _sample_tracer()
+        evs = chrome_trace_events(tracer.finish(), tracer.events)
+        pids = {e["pid"] for e in evs}
+        assert pids == {PID_WALL, PID_VIRTUAL}
+        meta = [e for e in evs if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta
+                 if e["name"] == "process_name"}
+        assert names == {"wall clock", "virtual time"}
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert {"rank 0", "rank 1", "main"} <= thread_names
+
+    def test_ts_monotonic_per_track_and_microseconds(self):
+        tracer = _sample_tracer()
+        evs = chrome_trace_events(tracer.finish(), tracer.events)
+        last = {}
+        for e in evs:
+            if e["ph"] == "M":
+                continue
+            key = (e["pid"], e["tid"])
+            assert e["ts"] >= last.get(key, float("-inf"))
+            last[key] = e["ts"]
+        rank0 = [e for e in evs
+                 if e["ph"] == "X" and e["tid"] == "rank 0"]
+        assert [e["ts"] for e in rank0] == [1.0e6, 2.0e6]
+        assert rank0[0]["dur"] == 0.5e6
+
+    def test_written_file_is_valid_trace_json(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_chrome_trace(tmp_path / "t.json", tracer.finish(),
+                                  tracer.events)
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        assert all({"ph", "pid", "tid"} <= set(e)
+                   for e in doc["traceEvents"])
+
+    def test_non_json_attrs_stringified(self):
+        tracer = SpanTracer(clock=lambda: 0.0)
+        tracer.record("op", "io", "rank 0", 0.0, 1.0, obj=object())
+        (ev,) = [e for e in chrome_trace_events(tracer.finish(), [])
+                 if e["ph"] == "X"]
+        assert isinstance(ev["args"]["obj"], str)
+
+
+class TestPrometheus:
+    def test_help_type_and_values(self):
+        text = render_prometheus(_sample_registry())
+        assert "# HELP io_bytes_total Bytes moved" in text
+        assert "# TYPE io_bytes_total counter" in text
+        assert 'io_bytes_total{kind="write"} 8192' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 2.5" in text
+
+    def test_histogram_exposition(self):
+        text = render_prometheus(_sample_registry())
+        assert 'wait_seconds_bucket{le="0.1"} 1' in text
+        assert 'wait_seconds_bucket{le="1"} 2' in text
+        assert 'wait_seconds_bucket{le="+Inf"} 3' in text
+        assert "wait_seconds_sum 7.55" in text
+        assert "wait_seconds_count 3" in text
+
+    def test_inf_bucket_equals_count(self):
+        reg = _sample_registry()
+        text = render_prometheus(reg)
+        inf_line = [l for l in text.splitlines()
+                    if l.startswith('wait_seconds_bucket{le="+Inf"}')]
+        count_line = [l for l in text.splitlines()
+                      if l.startswith("wait_seconds_count")]
+        assert inf_line[0].split()[-1] == count_line[0].split()[-1]
+
+    def test_families_rendered_sorted(self, tmp_path):
+        path = write_prometheus(tmp_path / "m.prom", _sample_registry())
+        names = [l.split()[2] for l in path.read_text().splitlines()
+                 if l.startswith("# TYPE")]
+        assert names == sorted(names)

@@ -1,0 +1,137 @@
+"""Metrics registry: counters, gauges, histogram bucketing, families."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    KB,
+    MB,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = MetricsRegistry().counter("ops_total")
+        c.inc()
+        c.inc(2.5)
+        assert c._solo().value == 3.5
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("ops_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g._solo().value == 13.0
+
+
+class TestHistogram:
+    def test_bucketing_le_semantics(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("req_bytes", buckets=BYTES_BUCKETS)._solo()
+        h.observe(4 * KB)      # == first bound -> first bucket
+        h.observe(5 * KB)      # -> 16 KB bucket
+        h.observe(2 * MB)      # -> 4 MB bucket
+        h.observe(8 * 1024 * MB)  # beyond last bound -> +Inf only
+        cum = dict(h.cumulative())
+        assert cum[4 * KB] == 1
+        assert cum[16 * KB] == 2
+        assert cum[1 * MB] == 2
+        assert cum[4 * MB] == 3
+        assert cum[1024 * MB] == 3
+        assert cum[math.inf] == 4
+        assert h.count == 4
+        assert h.sum == 4 * KB + 5 * KB + 2 * MB + 8 * 1024 * MB
+
+    def test_cumulative_monotonic_ends_at_count(self):
+        h = MetricsRegistry().histogram("t", buckets=(1.0, 2.0, 3.0))._solo()
+        for v in (0.5, 1.5, 1.7, 2.5, 99.0):
+            h.observe(v)
+        cum = h.cumulative()
+        counts = [c for _, c in cum]
+        assert counts == sorted(counts)
+        assert cum[-1] == (math.inf, 5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=(2.0, 1.0))._solo()
+
+
+class TestFamilies:
+    def test_labels_resolve_one_child_per_value_set(self):
+        fam = MetricsRegistry().counter("io_total", labelnames=("kind",))
+        fam.labels(kind="write").inc(3)
+        fam.labels(kind="read").inc()
+        fam.labels(kind="write").inc()
+        samples = dict(fam.samples())
+        assert samples[("write",)].value == 4
+        assert samples[("read",)].value == 1
+
+    def test_samples_sorted_by_label_values(self):
+        fam = MetricsRegistry().counter("x", labelnames=("a",))
+        for v in ("zeta", "alpha", "mid"):
+            fam.labels(a=v).inc()
+        assert [vals for vals, _ in fam.samples()] == \
+            [("alpha",), ("mid",), ("zeta",)]
+
+    def test_wrong_labelnames_rejected(self):
+        fam = MetricsRegistry().counter("x", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            fam.labels(device="sda")
+        with pytest.raises(ValueError):
+            fam.labels(kind="write", extra="nope")
+
+    def test_labelled_family_refuses_solo_use(self):
+        fam = MetricsRegistry().counter("x", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            fam.inc()
+
+    def test_label_values_stringified(self):
+        fam = MetricsRegistry().gauge("bw", labelnames=("phase",))
+        fam.labels(phase=3).set(99.0)
+        assert dict(fam.samples())[("3",)].value == 99.0
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", labelnames=("k",))
+        b = reg.counter("x", labelnames=("k",))
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_labelnames_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x", labelnames=("b",))
+
+    def test_families_sorted_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.gauge("aa")
+        assert [f.name for f in reg.families()] == ["aa", "zz"]
+        assert reg.get("aa").kind == "gauge"
+        assert reg.get("missing") is None
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        reg.clear()
+        assert reg.families() == []

@@ -1,0 +1,116 @@
+"""End-to-end observability: instrumented pipeline -> artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.apps.synthetic import SyntheticParams, synthetic_program
+from repro.clusters import ALL_CONFIGURATIONS
+from repro.core.pipeline import characterize_app, estimate_on
+from repro.obs.profile import (
+    CHROME_NAME,
+    JSONL_NAME,
+    PROM_NAME,
+    ProfileSession,
+)
+
+NP = 4
+
+
+@pytest.fixture()
+def session():
+    """One observed characterize+estimate run on configuration-A."""
+    with ProfileSession() as prof:
+        model, bundle = characterize_app(
+            synthetic_program, NP, SyntheticParams(), app_name="synthetic")
+        estimate_on(model, ALL_CONFIGURATIONS["configuration-A"],
+                    config_name="configuration-A")
+    assert not obs.ACTIVE  # session always detaches its sinks
+    return prof, model, bundle
+
+
+class TestInstrumentation:
+    def test_pipeline_and_engine_spans_nested(self, session):
+        prof, _, _ = session
+        by_name = {}
+        for sp in prof.spans:
+            by_name.setdefault(sp.name, []).append(sp)
+        assert "pipeline.characterize" in by_name
+        assert "pipeline.estimate" in by_name
+        # Engine runs happen inside pipeline stages on the same thread.
+        ids = {sp.span_id for spans in by_name.values() for sp in spans}
+        for run in by_name["engine.run"]:
+            assert run.parent_id in ids
+
+    def test_io_events_become_virtual_spans(self, session):
+        prof, _, bundle = session
+        io_spans = [sp for sp in prof.spans if sp.cat == "io"]
+        # characterize traced every record; estimate adds IOR runs on top.
+        assert len(io_spans) >= len(bundle.records)
+        assert {sp.tid for sp in io_spans} >= {f"rank {r}"
+                                               for r in range(NP)}
+
+    def test_registry_totals_match_trace(self, session):
+        prof, _, bundle = session
+        fam = prof.registry.get("io_bytes_total")
+        total = sum(child.value for _, child in fam.samples())
+        traced = sum(r.request_size for r in bundle.records)
+        assert total >= traced  # estimate's IOR traffic comes on top
+        ops = prof.registry.get("engine_runs_total")
+        assert ops._solo().value >= 2  # characterize + estimate phases
+
+    def test_resource_waits_recorded(self, session):
+        prof, _, _ = session
+        fam = prof.registry.get("resource_wait_seconds")
+        assert sum(child.count for _, child in fam.samples()) > 0
+
+    def test_characterize_bw_gauge_set(self, session):
+        prof, model, _ = session
+        fam = prof.registry.get("phase_bw_ch_mb_s")
+        assert len(fam.samples()) == model.nphases
+
+
+class TestArtifacts:
+    def test_write_produces_three_valid_files(self, session, tmp_path):
+        prof, _, _ = session
+        paths = prof.write(tmp_path / "prof")
+        assert paths["jsonl"].name == JSONL_NAME
+        assert paths["chrome"].name == CHROME_NAME
+        assert paths["prometheus"].name == PROM_NAME
+        for line in paths["jsonl"].read_text().splitlines():
+            json.loads(line)
+        doc = json.loads(paths["chrome"].read_text())
+        assert doc["traceEvents"]
+        assert "# TYPE io_bytes_total counter" in \
+            paths["prometheus"].read_text()
+
+    def test_summary_tables(self, session):
+        prof, _, _ = session
+        text = prof.summary()
+        assert "Wall-clock spans" in text
+        assert "Traced I/O" in text
+        assert "Busiest queue waits" in text
+        assert "pipeline.characterize" in text
+
+
+class TestDisabledState:
+    def test_disable_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with ProfileSession():
+                assert obs.ACTIVE
+                raise RuntimeError("boom")
+        assert not obs.ACTIVE
+
+    def test_runs_identically_without_sinks(self):
+        model_a, _ = characterize_app(
+            synthetic_program, NP, SyntheticParams(), app_name="synthetic")
+        with ProfileSession():
+            model_b, _ = characterize_app(
+                synthetic_program, NP, SyntheticParams(),
+                app_name="synthetic")
+        assert model_a.nphases == model_b.nphases
+        assert [p.weight for p in model_a.phases] == \
+            [p.weight for p in model_b.phases]

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro import __version__, obs
+from repro.cli import _app_for, main
 
 
 class TestConfigs:
@@ -79,3 +82,83 @@ class TestEstimateAndSelect:
         assert main(["signatures", "--model", model_path]) == 0
         out = capsys.readouterr().out
         assert "Byna-style" in out and "phase 1:" in out
+
+
+class TestAppResolution:
+    def test_np_threaded_into_params(self):
+        _, params = _app_for("ior", 8)
+        assert params.np == 8
+
+    def test_np_threaded_for_every_np_app(self):
+        import dataclasses
+
+        for app in ("madbench2", "btio-A", "synthetic", "ior", "roms"):
+            _, params = _app_for(app, 16)
+            for f in dataclasses.fields(params):
+                if f.name == "np":
+                    assert getattr(params, "np") == 16
+
+    def test_square_np_required_for_madbench2(self):
+        with pytest.raises(SystemExit, match="square"):
+            _app_for("madbench2", 12)
+
+    def test_square_np_required_for_btio(self):
+        with pytest.raises(SystemExit, match="square"):
+            _app_for("btio-C", 8)
+
+    def test_nonpositive_np_rejected(self):
+        with pytest.raises(SystemExit, match="positive"):
+            _app_for("synthetic", 0)
+
+    def test_trace_honours_np(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        assert main(["trace", "--app", "ior", "--np", "8",
+                     "--out", str(out_dir)]) == 0
+        assert "on 8 procs" in capsys.readouterr().out
+        assert (out_dir / "trace.7").exists()
+        assert not (out_dir / "trace.8").exists()
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-io {__version__}"
+
+
+class TestMetricsFlag:
+    def test_trace_with_metrics_prints_exposition(self, tmp_path, capsys):
+        assert main(["trace", "--app", "synthetic", "--np", "4",
+                     "--out", str(tmp_path / "t"), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Collected metrics (Prometheus text format):" in out
+        assert "# TYPE io_bytes_total counter" in out
+        assert "engine_runs_total 1" in out
+        # The flag never leaves instrumentation switched on.
+        assert not obs.ACTIVE
+
+    def test_disabled_by_default(self, tmp_path, capsys):
+        assert main(["trace", "--app", "synthetic", "--np", "4",
+                     "--out", str(tmp_path / "t")]) == 0
+        assert "Collected metrics" not in capsys.readouterr().out
+        assert not obs.ACTIVE
+
+
+class TestProfile:
+    def test_profile_writes_three_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "prof"
+        assert main(["profile", "--app", "synthetic", "--np", "4",
+                     "--config", "configuration-A",
+                     "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "System Usage %" in out
+        assert "Wall-clock spans" in out
+        assert "Traced I/O" in out
+        for line in (out_dir / "events.jsonl").read_text().splitlines():
+            json.loads(line)
+        doc = json.loads((out_dir / "trace.chrome.json").read_text())
+        assert doc["traceEvents"]
+        prom = (out_dir / "metrics.prom").read_text()
+        assert "# TYPE io_operations_total counter" in prom
+        assert not obs.ACTIVE

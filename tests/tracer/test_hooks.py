@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.simmpi import Engine, IdealPlatform
+from repro.simmpi.fileio import IOEvent
 from repro.tracer import TraceBundle, Tracer, trace_run
 
 
@@ -61,6 +64,37 @@ class TestBundlePersistence:
         assert back.metadata.files[0].filename == \
             bundle.metadata.files[0].filename
 
+    def test_roundtrip_preserves_per_rank_ordering(self, tmp_path):
+        bundle = trace_run(simple_app, 4)
+        bundle.save(tmp_path / "t")
+        back = TraceBundle.load(tmp_path / "t")
+        for rank in range(4):
+            orig = bundle.by_rank(rank)
+            loaded = back.by_rank(rank)
+            assert [(r.op, r.tick, r.offset) for r in loaded] == \
+                [(r.op, r.tick, r.offset) for r in orig]
+
+    def test_roundtrip_preserves_record_fields(self, tmp_path):
+        bundle = trace_run(simple_app, 2)
+        bundle.save(tmp_path / "t")
+        back = TraceBundle.load(tmp_path / "t")
+        # The file format stores times with 6 decimals; everything else
+        # must round-trip exactly.
+        def canon(r):
+            return tuple(round(v, 6) if isinstance(v, float) else v
+                         for v in dataclasses.astuple(r))
+        assert [canon(r) for r in back.records] == \
+            [canon(r) for r in bundle.records]
+        assert back.total_bytes == bundle.total_bytes
+        assert back.nfiles == bundle.nfiles
+
+    def test_roundtrip_preserves_metadata(self, tmp_path):
+        bundle = trace_run(simple_app, 3)
+        bundle.save(tmp_path / "t")
+        back = TraceBundle.load(tmp_path / "t")
+        assert back.nprocs == bundle.nprocs
+        assert back.metadata.to_dict() == bundle.metadata.to_dict()
+
     def test_loaded_bundle_builds_same_model(self, tmp_path):
         from repro.core.model import IOModel
 
@@ -71,3 +105,38 @@ class TestBundlePersistence:
         m2 = IOModel.from_trace(back)
         assert m1.nphases == m2.nphases
         assert [p.weight for p in m1.phases] == [p.weight for p in m2.phases]
+
+
+class TestFinishOrdering:
+    @staticmethod
+    def _event(rank, time, tick, offset) -> IOEvent:
+        return IOEvent(rank=rank, file_id=1, filename="data",
+                       op="MPI_File_write_at", offset=offset,
+                       abs_offset=offset, tick=tick, request_size=64,
+                       time=time, duration=0.1, kind="write",
+                       collective=False, unique_file=False)
+
+    def test_sorted_by_rank_time_tick(self):
+        tracer = Tracer()
+        engine = Engine(2, platform=IdealPlatform())
+        tracer.attach(engine)
+        engine.run(simple_app)
+        # Interleave extra events out of canonical order.
+        tracer.events.append(self._event(0, 0.0, 0, offset=999))
+        bundle = tracer.finish(engine)
+        keys = [(r.rank, r.time, r.tick) for r in bundle.records]
+        assert keys == sorted(keys)
+
+    def test_stable_for_identical_keys(self):
+        """Events with equal (rank, time, tick) keep insertion order."""
+        tracer = Tracer()
+        engine = Engine(1, platform=IdealPlatform())
+        tracer.attach(engine)
+        engine.run(lambda ctx: None)
+        for offset in (10, 20, 30):
+            tracer.events.append(self._event(0, 1.0, 5, offset=offset))
+        bundle = tracer.finish(engine)
+        assert [r.offset for r in bundle.records] == [10, 20, 30]
+        # finish() is reproducible: a second call yields the same order.
+        again = tracer.finish(engine)
+        assert [r.offset for r in again.records] == [10, 20, 30]
