@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Before/after wall-clock benchmark for the fast SPMD core.
+
+Runs the paper's end-to-end workloads twice:
+
+* **before** -- the pre-optimization engine: thread-per-rank scheduler,
+  memo caches disabled, full IOzone grids (no steady-state closure),
+  no repetition extrapolation;
+* **after**  -- the optimized core: coroutine scheduler, memoization,
+  IOzone steady-state closure, replay extrapolation where opt-in.
+
+Both legs must produce the *same* numbers (BW_CH, Time_io, usage,
+errors) to 1e-9 -- the optimizations are exact, only faster.  Results
+land in ``BENCH_perf.json``; ``--check-baseline`` compares the "after"
+total against ``benchmarks/BENCH_baseline.json`` and exits non-zero on
+a >30 % regression (the CI perf job).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--out BENCH_perf.json]
+                                                 [--check-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.apps.btio import BTIOParams, btio_program
+from repro.apps.madbench2 import MADbench2Params, madbench2_program
+from repro.clusters import (
+    configuration_a,
+    configuration_b,
+    configuration_c,
+    finisterrae,
+)
+from repro.core import cache as simcache
+from repro.core.offsetfn import OffsetFunction
+from repro.core.phases import Phase, PhaseOp
+from repro.core.pipeline import full_study
+from repro.core.replayer import replay_phase
+from repro.simmpi.engine import Engine
+
+from fractions import Fraction
+
+MB = 1024 * 1024
+
+REGRESSION_TOLERANCE = 1.30  # fail CI if after_s grows past 130 % of baseline
+
+
+# -- legacy-mode shims --------------------------------------------------------
+
+@contextmanager
+def forced_engine_mode(mode: str):
+    """Force every Engine in the pipeline onto one scheduler."""
+    orig = Engine.__init__
+
+    def patched(self, *a, **kw):
+        kw["mode"] = mode
+        orig(self, *a, **kw)
+
+    Engine.__init__ = patched
+    try:
+        yield
+    finally:
+        Engine.__init__ = orig
+
+
+@contextmanager
+def full_iozone_grids():
+    """Disable the IOzone steady-state closure (pre-PR behaviour)."""
+    import repro.apps.iozone as iozone_mod
+    import repro.core.estimate as estimate_mod
+
+    orig = iozone_mod.run_iozone
+
+    def slow(ion, params):
+        return orig(ion, dataclasses.replace(params, steady_state_ops=0))
+
+    iozone_mod.run_iozone = slow
+    estimate_mod.run_iozone = slow
+    try:
+        yield
+    finally:
+        iozone_mod.run_iozone = orig
+        estimate_mod.run_iozone = orig
+
+
+@contextmanager
+def legacy_core():
+    """The full pre-PR configuration: threads, no caches, no closure."""
+    simcache.disable(clear=True)
+    try:
+        with forced_engine_mode("threads"), full_iozone_grids():
+            yield
+    finally:
+        simcache.enable()
+
+
+# -- workloads ----------------------------------------------------------------
+
+def study_madbench2() -> dict:
+    """Tables VIII-X: MADbench2 usage on Aohyper configurations A and B."""
+    return full_study(
+        madbench2_program, 16, MADbench2Params(),
+        cluster_factories={"configuration-A": configuration_a,
+                           "configuration-B": configuration_b},
+        measure_configs=("configuration-A", "configuration-B"),
+        app_name="madbench2")
+
+
+def study_btio() -> dict:
+    """Tables XI-XII: BT-IO class D selection between configuration C
+    and Finisterrae (estimation only -- the methodology's whole point
+    is that no measurement is needed to choose)."""
+    return full_study(
+        btio_program, 16, BTIOParams(cls="D", comm_events_per_step=24),
+        cluster_factories={"configuration-C": configuration_c,
+                           "finisterrae": finisterrae},
+        app_name="btio-D")
+
+
+def steady_cluster():
+    """A drift-free NFS cluster: no page cache, so the per-repetition
+    cost settles immediately and the extrapolation fast path engages."""
+    from repro.iosim.device import Disk, DiskSpec
+    from repro.iosim.raid import RAID5
+    from repro.iosim.localfs import EXT4, LocalFS
+    from repro.iosim.network import GIGABIT_ETHERNET
+    from repro.iosim.nodes import ComputeNode, IONode
+    from repro.iosim.globalfs import NFS
+    from repro.iosim.cluster import Cluster
+
+    disks = [Disk(f"d{i}", DiskSpec()) for i in range(5)]
+    fs = LocalFS("fs", RAID5("vol", disks), EXT4, cache_mb=0.0)
+    nodes = [ComputeNode.make(f"cn{i}") for i in range(4)]
+    return Cluster("bench-nfs", nodes, NFS(IONode.make("ion0", fs)),
+                   GIGABIT_ETHERNET)
+
+
+def high_rep_phase(rep: int = 2048) -> Phase:
+    offs = OffsetFunction(slope=Fraction(64 * MB), intercept=Fraction(0))
+    op = PhaseOp(op="write_at", kind="write", request_size=MB, disp=0,
+                 offset_fn=offs, abs_offset_fn=offs)
+    return Phase(phase_id=1, file_group="bench", rep=rep, ops=(op,),
+                 ranks=tuple(range(4)), tick=1.0, first_time=0.0,
+                 duration=1.0)
+
+
+def replay_full() -> float:
+    phase = high_rep_phase()
+    return replay_phase(phase, steady_cluster()).bw_mb_s
+
+
+def replay_extrapolated() -> float:
+    phase = high_rep_phase()
+    return replay_phase(phase, steady_cluster(), extrapolate_reps=8).bw_mb_s
+
+
+# -- output canonicalization --------------------------------------------------
+
+def summarize_study(study: dict) -> dict:
+    """Flatten a full_study result into comparable scalars."""
+    out: dict[str, float | str] = {"best": study["selection"]["best"]}
+    for name, total in sorted(study["selection"]["totals"].items()):
+        out[f"total_time_ch[{name}]"] = total
+    for name, report in sorted(study["estimates"].items()):
+        for p in report.phases:
+            out[f"bw_ch[{name}][{p.phase_id}]"] = p.bw_ch_mb_s
+            out[f"time_ch[{name}][{p.phase_id}]"] = p.time_ch
+    for name, ev in sorted(study["evaluations"].items()):
+        for row in ev.rows:
+            out[f"usage[{name}][{row.phase_id}]"] = row.usage_pct
+            out[f"error[{name}][{row.phase_id}]"] = row.error_rel_pct
+            out[f"bw_md[{name}][{row.phase_id}]"] = row.bw_md_mb_s
+    return out
+
+
+def compare(before: dict, after: dict, rtol: float = 1e-9) -> list[str]:
+    """Relative differences beyond ``rtol``; empty means identical."""
+    drift = []
+    for key in sorted(set(before) | set(after)):
+        a, b = before.get(key), after.get(key)
+        if isinstance(a, str) or isinstance(b, str):
+            if a != b:
+                drift.append(f"{key}: {a!r} != {b!r}")
+            continue
+        if a is None or b is None:
+            drift.append(f"{key}: missing on one side")
+            continue
+        if abs(a - b) > rtol * max(abs(a), abs(b), 1e-30):
+            drift.append(f"{key}: {a!r} vs {b!r}")
+    return drift
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+# -- driver -------------------------------------------------------------------
+
+WORKLOADS = [
+    ("full_study_madbench2", study_madbench2, summarize_study, 1e-9),
+    ("full_study_btio", study_btio, summarize_study, 1e-9),
+    # Extrapolation is an analytic closure: bit-identity is not claimed,
+    # agreement to 1e-6 relative is (and is asserted here).
+    ("replay_high_rep", None, None, 1e-6),
+]
+
+
+def run_legs() -> dict:
+    report: dict = {"workloads": {}, "drift": {}, "cache_stats": {}}
+
+    for name, fn, summarize, rtol in WORKLOADS:
+        if name == "replay_high_rep":
+            simcache.clear_all()
+            with legacy_core():
+                bw_before, t_before = timed(replay_full)
+            simcache.clear_all()
+            bw_after, t_after = timed(replay_extrapolated)
+            drift = compare({"bw": bw_before}, {"bw": bw_after}, rtol=rtol)
+        else:
+            simcache.clear_all()
+            with legacy_core():
+                res_before, t_before = timed(fn)
+            simcache.clear_all()
+            res_after, t_after = timed(fn)
+            drift = compare(summarize(res_before), summarize(res_after),
+                            rtol=rtol)
+        report["workloads"][name] = {
+            "before_s": round(t_before, 4),
+            "after_s": round(t_after, 4),
+            "speedup": round(t_before / max(t_after, 1e-9), 2),
+        }
+        report["drift"][name] = drift
+        # clear_all() zeroes the counters, so these are per-workload.
+        report["cache_stats"][name] = simcache.stats()
+        status = "OK" if not drift else f"DRIFT({len(drift)})"
+        print(f"{name:24s} before={t_before:8.3f}s after={t_after:8.3f}s "
+              f"speedup={t_before / max(t_after, 1e-9):6.2f}x  {status}")
+
+    before_total = sum(w["before_s"] for w in report["workloads"].values())
+    after_total = sum(w["after_s"] for w in report["workloads"].values())
+    report["total"] = {
+        "before_s": round(before_total, 4),
+        "after_s": round(after_total, 4),
+        "speedup": round(before_total / max(after_total, 1e-9), 2),
+    }
+    report["identical_outputs"] = not any(report["drift"].values())
+    print(f"{'TOTAL':24s} before={before_total:8.3f}s "
+          f"after={after_total:8.3f}s "
+          f"speedup={report['total']['speedup']:6.2f}x")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_perf.json",
+                    help="where to write the JSON report")
+    ap.add_argument("--check-baseline", action="store_true",
+                    help="fail on >30%% regression vs BENCH_baseline.json")
+    args = ap.parse_args(argv)
+
+    report = run_legs()
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not report["identical_outputs"]:
+        for name, drift in report["drift"].items():
+            for line in drift:
+                print(f"DRIFT {name}: {line}", file=sys.stderr)
+        return 1
+
+    if args.check_baseline:
+        baseline_path = Path(__file__).parent / "BENCH_baseline.json"
+        baseline = json.loads(baseline_path.read_text())
+        allowed = baseline["total"]["after_s"] * REGRESSION_TOLERANCE
+        got = report["total"]["after_s"]
+        print(f"baseline after_s={baseline['total']['after_s']:.3f} "
+              f"allowed<={allowed:.3f} got={got:.3f}")
+        if got > allowed:
+            print("perf regression: after_s exceeds 130% of baseline",
+                  file=sys.stderr)
+            return 2
+
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.simmpi.context import RankContext
+from repro.simmpi.context import CoroContext
 from repro.simmpi.datatypes import Basic, Vector
 from repro.simmpi.errors import MPIUsageError
 
@@ -91,7 +91,7 @@ def validate_np(np: int) -> int:
     return root
 
 
-def btio_program(ctx: RankContext, params: BTIOParams = BTIOParams()) -> None:
+def btio_program(ctx: CoroContext, params: BTIOParams = BTIOParams()):
     """Rank program for BT-IO FULL (and SIMPLE, without collectives)."""
     np = ctx.size
     validate_np(np)
@@ -100,37 +100,37 @@ def btio_program(ctx: RankContext, params: BTIOParams = BTIOParams()) -> None:
     ndumps = params.ndumps
     etype = Basic(POINT_BYTES)
 
-    fh = ctx.file_open(params.filename)
+    fh = yield from ctx.file_open(params.filename)
     # Nested strided view: process p owns slot p of each of the ndumps
     # dump groups -> absolute offset of dump d is (d*np + p) * rs.
     filetype = Vector(count=ndumps, blocklen=pts, stride=np * pts, base=etype)
-    fh.set_view(disp=ctx.rank * rs, etype=etype, filetype=filetype)
+    yield from fh.set_view(disp=ctx.rank * rs, etype=etype, filetype=filetype)
 
     collective = params.subtype == "full"
     for step in range(1, params.nsteps + 1):
         if params.busy_seconds_per_step:
-            ctx.compute(params.busy_seconds_per_step)
+            yield from ctx.compute(params.busy_seconds_per_step)
         # Solver sweeps: face exchanges with the process grid neighbours.
         for _ in range(params.comm_events_per_step):
-            ctx.allreduce(1.0)
+            yield from ctx.allreduce(1.0)
         if step % DUMP_INTERVAL == 0:
             dump = step // DUMP_INTERVAL  # 1-based phase number
             view_off = (dump - 1) * pts  # etype units within the view
             if collective:
-                fh.write_at_all(view_off, rs)
+                yield from fh.write_at_all(view_off, rs)
             else:
-                fh.write_at(view_off, rs)
+                yield from fh.write_at(view_off, rs)
 
-    ctx.barrier()
+    yield from ctx.barrier()
     # Verification pass: re-read every dump, back to back (one phase).
     for dump in range(1, ndumps + 1):
         view_off = (dump - 1) * pts
         if collective:
-            fh.read_at_all(view_off, rs)
+            yield from fh.read_at_all(view_off, rs)
         else:
-            fh.read_at(view_off, rs)
-    fh.close()
-    ctx.barrier()
+            yield from fh.read_at(view_off, rs)
+    yield from fh.close()
+    yield from ctx.barrier()
 
 
 def expected_phase_count(params: BTIOParams) -> int:

@@ -28,10 +28,11 @@ inter-test timing with barriers.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 
-from repro.simmpi.context import RankContext
+from repro.simmpi.context import CoroContext
 from repro.simmpi.engine import Engine, Platform
 from repro.simmpi.errors import MPIUsageError
 from repro.simmpi.fileio import IOEvent
@@ -103,14 +104,14 @@ class IORResult:
         return self.bw_mb_s[kind]
 
 
-def ior_program(ctx: RankContext, params: IORParams) -> None:
-    """Rank program of the IOR benchmark."""
-    fh = ctx.file_open(params.filename, unique=params.file_per_process)
+def ior_program(ctx: CoroContext, params: IORParams):
+    """Rank program of the IOR benchmark (coroutine style)."""
+    fh = yield from ctx.file_open(params.filename, unique=params.file_per_process)
     ntransfers = params.transfers_per_segment
     order = list(range(ntransfers))
 
     for kind in params.kinds:
-        ctx.barrier()
+        yield from ctx.barrier()
         for seg in range(params.segments):
             if params.random_offsets:
                 rng = random.Random(params.seed + 7919 * ctx.rank + seg)
@@ -124,16 +125,16 @@ def ior_program(ctx: RankContext, params: IORParams) -> None:
                 offset = seg_base + i * params.transfer_size
                 if kind == "write":
                     if params.collective:
-                        fh.write_at_all(offset, params.transfer_size)
+                        yield from fh.write_at_all(offset, params.transfer_size)
                     else:
-                        fh.write_at(offset, params.transfer_size)
+                        yield from fh.write_at(offset, params.transfer_size)
                 else:
                     if params.collective:
-                        fh.read_at_all(offset, params.transfer_size)
+                        yield from fh.read_at_all(offset, params.transfer_size)
                     else:
-                        fh.read_at(offset, params.transfer_size)
-        ctx.barrier()
-    fh.close()
+                        yield from fh.read_at(offset, params.transfer_size)
+        yield from ctx.barrier()
+    yield from fh.close()
 
 
 def run_ior(platform: Platform, params: IORParams) -> IORResult:
@@ -141,7 +142,31 @@ def run_ior(platform: Platform, params: IORParams) -> IORResult:
 
     The platform should be freshly built (or ``reset``) so queue state
     from earlier experiments does not leak into the measurement.
+
+    Results are memoized by ``(params, platform fingerprint)``: the run
+    is a pure function of both, so replaying the same phase against a
+    structurally identical configuration (the common case inside
+    ``estimate_model`` / ``full_study`` sweeps) returns the cached
+    bandwidths without re-simulating.  Platforms without a
+    ``fingerprint()`` method opt out.
     """
+    from repro.core import cache as simcache  # late: avoids an import cycle
+
+    memo = simcache.cache("ior")
+    fp = simcache.platform_fingerprint(platform)
+    # The filename only labels the simulated trace; normalize it away so
+    # per-phase replications (ior.phase0, ior.phase1, ...) with the same
+    # geometry share one cache entry.
+    key = ((dataclasses.replace(params, filename=""), fp)
+           if fp is not None else None)
+    if key is not None:
+        hit = memo.lookup(key)
+        if hit is not simcache._MISS:
+            # Rebuild with the caller's params (their filename may differ
+            # from the entry's).
+            return IORResult(params=params, bw_mb_s=dict(hit.bw_mb_s),
+                             times=dict(hit.times), elapsed=hit.elapsed)
+
     events: list[IOEvent] = []
     engine = Engine(params.np, platform=platform)
     engine.add_io_hook(events.append)
@@ -158,4 +183,9 @@ def run_ior(platform: Platform, params: IORParams) -> IORResult:
         span = max(end - begin, 1e-12)
         result.times[kind] = span
         result.bw_mb_s[kind] = nbytes / MB / span
+    if key is not None:
+        memo.store(key, IORResult(params=result.params,
+                                  bw_mb_s=dict(result.bw_mb_s),
+                                  times=dict(result.times),
+                                  elapsed=result.elapsed))
     return result

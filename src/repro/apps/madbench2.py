@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.simmpi.context import RankContext
+from repro.simmpi.context import CoroContext
 from repro.simmpi.errors import MPIUsageError
 
 
@@ -53,8 +53,8 @@ class MADbench2Params:
         return total // np
 
 
-def madbench2_program(ctx: RankContext,
-                      params: MADbench2Params = MADbench2Params()) -> None:
+def madbench2_program(ctx: CoroContext,
+                      params: MADbench2Params = MADbench2Params()):
     """Rank program: S, W, C with busy-work, on one shared file.
 
     Multi-gang mode (``ngang > 1``): S builds and writes the matrices
@@ -74,53 +74,54 @@ def madbench2_program(ctx: RankContext,
             f"ngang={params.ngang} must divide the process count {np}")
     rs = params.request_size(np)
     nbin = params.nbin
-    fh = ctx.file_open(params.filename, unique=not params.filetype_shared)
+    fh = yield from ctx.file_open(params.filename,
+                                  unique=not params.filetype_shared)
     base = ctx.rank * nbin * rs  # this process's region (bytes == etypes here)
 
-    def busy() -> None:
+    def busy():
         if params.busy_seconds:
-            ctx.compute(params.busy_seconds)
+            yield from ctx.compute(params.busy_seconds)
 
     # ---- S: write all bins -------------------------------------------------
-    fh.seek(base)
+    yield from fh.seek(base)
     for _ in range(nbin):
-        busy()
-        fh.write(rs)
-    ctx.barrier()
-    ctx.allreduce(1.0)  # dgemm-scale busy-work has a reduction in real S/W
+        yield from busy()
+        yield from fh.write(rs)
+    yield from ctx.barrier()
+    yield from ctx.allreduce(1.0)  # dgemm-scale busy-work: reduction in S/W
 
     # Gang redistribution for W & C (no-op in single-gang mode).
     if params.ngang > 1:
-        gang = ctx.split(color=ctx.rank * params.ngang // np)
+        gang = yield from ctx.split(color=ctx.rank * params.ngang // np)
     else:
         gang = None
 
     # ---- W: read + write every bin, pipelined with lookahead 2 -------------
     lookahead = min(2, nbin)
-    fh.seek(base)
+    yield from fh.seek(base)
     for j in range(lookahead):  # prefetch
-        busy()
-        fh.read(rs)
+        yield from busy()
+        yield from fh.read(rs)
     for j in range(lookahead, nbin):  # steady state: write back, read next
-        busy()
-        fh.seek(base + (j - lookahead) * rs)
-        fh.write(rs)
-        fh.seek(base + j * rs)
-        fh.read(rs)
+        yield from busy()
+        yield from fh.seek(base + (j - lookahead) * rs)
+        yield from fh.write(rs)
+        yield from fh.seek(base + j * rs)
+        yield from fh.read(rs)
     for j in range(nbin - lookahead, nbin):  # drain
-        busy()
-        fh.seek(base + j * rs)
-        fh.write(rs)
-    ctx.barrier(gang)
-    ctx.allreduce(1.0, comm=gang)
+        yield from busy()
+        yield from fh.seek(base + j * rs)
+        yield from fh.write(rs)
+    yield from ctx.barrier(gang)
+    yield from ctx.allreduce(1.0, comm=gang)
 
     # ---- C: read all bins ----------------------------------------------------
-    fh.seek(base)
+    yield from fh.seek(base)
     for _ in range(nbin):
-        busy()
-        fh.read(rs)
-    fh.close()
-    ctx.barrier()
+        yield from busy()
+        yield from fh.read(rs)
+    yield from fh.close()
+    yield from ctx.barrier()
 
 
 #: The five phases of Table VIII for (16 procs, 8KPIX, 8 bins, 32 MB rs):

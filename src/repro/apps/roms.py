@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.hdf5lite import H5File
-from repro.simmpi.context import RankContext
+from repro.hdf5lite import CoroH5File
+from repro.simmpi.context import CoroContext
 
 #: (name, dimensionality) of the upwelling history fields.
 HISTORY_FIELDS = [
@@ -58,30 +58,37 @@ class ROMSParams:
         return sum(self.field_bytes(d) for _, d in HISTORY_FIELDS)
 
 
-def roms_program(ctx: RankContext, params: ROMSParams = ROMSParams()) -> None:
+def roms_program(ctx: CoroContext, params: ROMSParams = ROMSParams()):
     """Rank program: time stepping with periodic multi-file history output."""
     his_index = 0
     for step in range(1, params.nsteps + 1):
         if params.busy_seconds_per_step:
-            ctx.compute(params.busy_seconds_per_step)
+            yield from ctx.compute(params.busy_seconds_per_step)
         for _ in range(params.comm_events_per_step):
-            ctx.allreduce(1.0)  # barotropic/baroclinic coupling exchanges
+            yield from ctx.allreduce(1.0)  # barotropic/baroclinic coupling
         if step % params.history_every == 0:
             his_index += 1
-            with H5File(ctx, f"his_{his_index:04d}.nc") as f:
-                f.attrs["ocean_time"] = step
+            f = yield from CoroH5File.open(ctx, f"his_{his_index:04d}.nc")
+            try:
+                yield from f.attrs.set("ocean_time", step)
                 for name, dims in HISTORY_FIELDS:
-                    ds = f.create_dataset(name, params.field_bytes(dims))
-                    ds.write_slab()
+                    ds = yield from f.create_dataset(name,
+                                                     params.field_bytes(dims))
+                    yield from ds.write_slab()
+            finally:
+                yield from f.close()
 
     # Final restart: two time levels of the 3-D prognostic state.
-    with H5File(ctx, "rst.nc") as f:
-        f.attrs["ntimes"] = params.nsteps
+    f = yield from CoroH5File.open(ctx, "rst.nc")
+    try:
+        yield from f.attrs.set("ntimes", params.nsteps)
         for level in range(2):
             for name, dims in HISTORY_FIELDS:
                 if dims != 3:
                     continue
-                ds = f.create_dataset(f"{name}_{level}",
-                                      params.field_bytes(3))
-                ds.write_slab()
-    ctx.barrier()
+                ds = yield from f.create_dataset(f"{name}_{level}",
+                                                 params.field_bytes(3))
+                yield from ds.write_slab()
+    finally:
+        yield from f.close()
+    yield from ctx.barrier()

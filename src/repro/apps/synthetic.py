@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.simmpi.context import RankContext
+from repro.simmpi.context import CoroContext
 from repro.simmpi.datatypes import Basic, Vector
 
 #: Fig. 2's request size (bytes) and its etype (40-byte record).
@@ -35,26 +35,27 @@ class SyntheticParams:
     filename: str = "synthetic.dat"
 
 
-def synthetic_program(ctx: RankContext, params: SyntheticParams = SyntheticParams()) -> None:
-    """Rank program for the Figs. 2-5 example."""
+def synthetic_program(ctx: CoroContext, params: SyntheticParams = SyntheticParams()):
+    """Rank program for the Figs. 2-5 example (coroutine style)."""
     np = ctx.size
     etype = Basic(ETYPE_BYTES)
     block = params.request_size // ETYPE_BYTES
-    fh = ctx.file_open(params.filename)
+    fh = yield from ctx.file_open(params.filename)
     # Strided view: process p owns block p of every repetition group.
     filetype = Vector(count=params.nrep, blocklen=block, stride=np * block, base=etype)
-    fh.set_view(disp=ctx.rank * params.request_size, etype=etype, filetype=filetype)
+    yield from fh.set_view(disp=ctx.rank * params.request_size, etype=etype,
+                            filetype=filetype)
 
     for rep in range(params.nrep):
         # Busy-work + communication between writes (the 121-tick gap).
         if params.compute_seconds:
-            ctx.compute(params.compute_seconds)
+            yield from ctx.compute(params.compute_seconds)
         for _ in range(params.comm_events_per_step):
-            ctx.allreduce(1.0)
-        fh.write_at_all(rep * block, params.request_size)
+            yield from ctx.allreduce(1.0)
+        yield from fh.write_at_all(rep * block, params.request_size)
 
     # 40 back-to-back reads: one phase (no MPI events in between).
     for rep in range(params.nrep):
-        fh.read_at_all(rep * block, params.request_size)
-    fh.close()
-    ctx.barrier()
+        yield from fh.read_at_all(rep * block, params.request_size)
+    yield from fh.close()
+    yield from ctx.barrier()

@@ -7,6 +7,7 @@ Pipeline: trace (``repro.tracer``) -> local access patterns (``lap``)
 temporal global access patterns of the paper's figures.
 """
 
+from . import cache
 from .estimate import (
     ClusterFactory,
     ConfigurationChoice,
@@ -53,6 +54,7 @@ from .pipeline import (
     measure_on,
 )
 from .replayer import ReplayResult, estimate_phase_replayed, replay_phase
+from .sweep import sweep_map
 from .replication import (
     PhaseReplication,
     STEADY_STATE_MIN_BLOCK,
@@ -77,6 +79,8 @@ from .signatures import (
 
 __all__ = [
     "ClusterFactory",
+    "cache",
+    "sweep_map",
     "ConfigurationChoice",
     "DEFAULT_TICK_TOL",
     "EstimateReport",

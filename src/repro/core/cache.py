@@ -1,0 +1,157 @@
+"""Memoization of pure simulation results keyed by structural fingerprints.
+
+The paper's methodology re-evaluates one application model against many
+I/O configurations (section V), and a configuration sweep re-simulates
+the *same* (phase, cluster) pairs over and over: BT-IO's 50 write
+phases share one signature, configuration B's three I/O nodes differ
+only by name, and ``full_study`` replays every phase once per
+candidate configuration.  Because the simulators are pure functions of
+their inputs -- a fresh cluster plus a parameter record in, a result
+record out -- their outputs can be memoized by value.
+
+The key ingredient is a *structural fingerprint*: every simulated
+resource (``Disk``, ``Volume``, ``LocalFS``, ``Link``, nodes, global
+filesystems, ``Cluster``) exposes ``fingerprint()`` returning a
+hashable tuple of its performance-relevant parameters, excluding
+instance names.  Two clusters built by different factories hash equal
+iff the simulation cannot distinguish them.
+
+Caches register here by name (``"ior"``, ``"iozone"``, ``"replay"``)
+so they can be inspected, cleared or disabled as a group::
+
+    from repro.core import cache
+
+    cache.stats()      # {"ior": {"hits": 40, "misses": 2, "entries": 2}}
+    cache.clear_all()  # drop every entry and zero the hit/miss counters
+    cache.disable()    # bypass lookups entirely (e.g. for benchmarking)
+
+Hits and misses also feed ``repro.obs`` counters
+(``cache_hits_total`` / ``cache_misses_total``, labelled by cache) when
+observability is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro import obs
+
+_MISS = object()  # sentinel: lookup found nothing (None is a valid value)
+
+
+class SimCache:
+    """One named memo table with hit/miss accounting."""
+
+    __slots__ = ("name", "hits", "misses", "_data")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self._data: dict[Hashable, Any] = {}
+
+    def lookup(self, key: Hashable) -> Any:
+        """Return the cached value or the module sentinel ``_MISS``."""
+        if not _enabled:
+            return _MISS
+        value = self._data.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            if obs.ACTIVE:
+                obs.inc("cache_misses_total", cache=self.name)
+        else:
+            self.hits += 1
+            if obs.ACTIVE:
+                obs.inc("cache_hits_total", cache=self.name)
+        return value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        if _enabled:
+            self._data[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters (a fresh measurement)."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_registry: dict[str, SimCache] = {}
+_enabled: bool = True
+
+
+def cache(name: str) -> SimCache:
+    """Get (or create) the named cache."""
+    c = _registry.get(name)
+    if c is None:
+        c = _registry[name] = SimCache(name)
+    return c
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def enable() -> None:
+    """Turn memoization back on (entries cached earlier are kept)."""
+    global _enabled
+    _enabled = True
+
+
+def disable(clear: bool = True) -> None:
+    """Bypass every cache; by default also drop current entries."""
+    global _enabled
+    _enabled = False
+    if clear:
+        clear_all()
+
+
+def clear_all() -> None:
+    for c in _registry.values():
+        c.clear()
+
+
+def stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/entry counts per cache, for reports and tests."""
+    return {
+        name: {"hits": c.hits, "misses": c.misses, "entries": len(c)}
+        for name, c in sorted(_registry.items())
+    }
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+#: Factory object -> fingerprint of the cluster it builds.  Building a
+#: cluster is cheap but not free; sweeps call the same factory hundreds
+#: of times, so the fingerprint is derived once per factory object.
+_factory_fps: dict[Any, Hashable] = {}
+
+
+def platform_fingerprint(platform: Any) -> Hashable | None:
+    """Structural fingerprint of a platform, or None if it has none.
+
+    Platforms without a ``fingerprint()`` method (e.g. ad-hoc test
+    doubles) simply opt out of memoization.
+    """
+    fp = getattr(platform, "fingerprint", None)
+    if fp is None:
+        return None
+    return fp()
+
+
+def factory_fingerprint(factory: Callable[[], Any]) -> Hashable | None:
+    """Fingerprint of the cluster a factory builds, memoized per factory."""
+    try:
+        hit = _factory_fps.get(factory, _MISS)
+    except TypeError:  # unhashable callable
+        return platform_fingerprint(factory())
+    if hit is not _MISS:
+        return hit
+    fp = platform_fingerprint(factory())
+    _factory_fps[factory] = fp
+    return fp

@@ -234,15 +234,30 @@ class ConfigurationChoice:
         return sorted(self.total_times.items(), key=lambda kv: kv[1])
 
 
+def _selection_job(phases: Sequence[Phase], factory: ClusterFactory,
+                   name: str) -> float:
+    return estimate_model(phases, factory, config_name=name).total_time_ch
+
+
 def select_configuration(phases: Sequence[Phase],
-                         factories: dict[str, ClusterFactory]) -> ConfigurationChoice:
+                         factories: dict[str, ClusterFactory],
+                         parallel: bool = False,
+                         max_workers: int | None = None) -> ConfigurationChoice:
     """Estimate the model on every configuration; pick the fastest.
 
     This is the paper's use case in Table XII: estimate BT-IO on
     configuration C and Finisterrae, choose Finisterrae.
+
+    ``parallel=True`` sweeps the candidate configurations concurrently
+    in worker processes (factories must be picklable; unpicklable
+    sweeps fall back to the serial path).
     """
-    totals = {}
-    for name, factory in factories.items():
-        totals[name] = estimate_model(phases, factory, config_name=name).total_time_ch
+    from .sweep import sweep_map
+
+    totals = sweep_map(
+        _selection_job,
+        {name: (tuple(phases), factory, name)
+         for name, factory in factories.items()},
+        parallel=parallel, max_workers=max_workers)
     best = min(totals, key=totals.get)
     return ConfigurationChoice(best=best, total_times=totals)

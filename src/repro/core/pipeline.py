@@ -34,6 +34,7 @@ from .estimate import (
     system_usage,
 )
 from .model import IOModel
+from .sweep import sweep_map
 
 MB = 1024 * 1024
 
@@ -180,25 +181,49 @@ def characterize_peaks_for(cluster_factory: ClusterFactory) -> dict[str, float]:
     }
 
 
+def _estimate_job(model: IOModel, factory: ClusterFactory,
+                  name: str) -> EstimateReport:
+    """Worker-side body of one configuration's estimation."""
+    return estimate_model(model.phases, factory, config_name=name)
+
+
 def full_study(program: Callable, nprocs: int, *args,
                cluster_factories: dict[str, ClusterFactory],
                app_name: str = "app",
                measure_configs: Sequence[str] = (),
-               tick_tol: int = 16) -> dict:
+               tick_tol: int = 16,
+               parallel: bool = False,
+               max_workers: int | None = None) -> dict:
     """The complete methodology for one application.
 
     Characterize once; estimate on every configuration; optionally
     validate (measure) on some of them.  Returns a dict with the model,
     per-config estimates, measurements, evaluations and the selection.
+
+    ``parallel=True`` estimates the configurations concurrently in
+    worker processes (factories must be picklable, i.e. module-level;
+    unpicklable sweeps fall back to the serial path).
     """
     with obs.span("pipeline.full_study", cat="pipeline", app=app_name,
                   np=nprocs) as sp:
         model, bundle = characterize_app(program, nprocs, *args,
                                          app_name=app_name, tick_tol=tick_tol)
-        estimates = {
-            name: estimate_on(model, factory, config_name=name)
-            for name, factory in cluster_factories.items()
-        }
+        if parallel:
+            estimates = sweep_map(
+                _estimate_job,
+                {name: (model, factory, name)
+                 for name, factory in cluster_factories.items()},
+                parallel=True, max_workers=max_workers)
+            if obs.ACTIVE:
+                for name, report in estimates.items():
+                    for p in report.phases:
+                        obs.set_gauge("phase_bw_ch_mb_s", p.bw_ch_mb_s,
+                                      config=name, phase=str(p.phase_id))
+        else:
+            estimates = {
+                name: estimate_on(model, factory, config_name=name)
+                for name, factory in cluster_factories.items()
+            }
         evaluations = {}
         for name in measure_configs:
             factory = cluster_factories[name]

@@ -1,0 +1,46 @@
+"""Concurrent configuration sweeps over worker processes.
+
+The estimation stage is embarrassingly parallel across configurations:
+each ``estimate_on``/``estimate_model`` call is a pure CPU-bound
+function of (model, cluster factory) with no shared state.  With
+``parallel=True`` the sweep fans those calls out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Requirements and fallbacks:
+
+* jobs (the function and every argument) must be picklable -- cluster
+  factories defined at module level qualify, test lambdas do not.  A
+  sweep whose jobs cannot be pickled silently degrades to the serial
+  path, so ``parallel=True`` is always safe to pass;
+* memo caches (:mod:`repro.core.cache`) live per process: workers start
+  with a (forked) copy and their insertions are not merged back.  The
+  parent's caches still serve repeated sweeps;
+* ``repro.obs`` spans recorded inside workers are lost -- observability
+  of parallel sweeps happens at the sweep boundary, not per job.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+from typing import Any, Callable, Mapping
+
+
+def sweep_map(fn: Callable, jobs: Mapping[str, tuple], parallel: bool = False,
+              max_workers: int | None = None) -> dict[str, Any]:
+    """Apply ``fn(*args)`` to every ``{name: args}`` job; dict of results.
+
+    Results preserve the jobs' insertion order.  ``parallel=False`` (or
+    a single job, or unpicklable jobs) runs serially in-process.
+    """
+    if not parallel or len(jobs) <= 1:
+        return {name: fn(*args) for name, args in jobs.items()}
+    try:
+        pickle.dumps((fn, tuple(jobs.values())))
+    except Exception:
+        return {name: fn(*args) for name, args in jobs.items()}
+    workers = max_workers or min(len(jobs), os.cpu_count() or 1)
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {name: pool.submit(fn, *args) for name, args in jobs.items()}
+        return {name: fut.result() for name, fut in futures.items()}

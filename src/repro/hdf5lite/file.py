@@ -13,6 +13,13 @@ Layout (a simplification of the HDF5 format, faithful in its I/O
 
 All sizes are in bytes; element size is carried per dataset so slabs
 stay whole-element (MPI etype semantics).
+
+Like the MPI layer itself, every operation is implemented once as a
+generator core (``_g_*``).  :class:`H5File`/:class:`Dataset` are the
+blocking shells for thread-scheduled rank programs;
+:class:`CoroH5File`/:class:`CoroDataset` alias the cores directly for
+coroutine-scheduled programs (``f = yield from CoroH5File.open(...)``,
+``yield from ds.write_slab()``).
 """
 
 from __future__ import annotations
@@ -21,7 +28,6 @@ from dataclasses import dataclass
 
 from repro.simmpi.context import RankContext
 from repro.simmpi.errors import MPIFileError, MPIUsageError
-from repro.simmpi.fileio import SimFileHandle
 
 SUPERBLOCK_BYTES = 96
 OBJECT_HEADER_BYTES = 256
@@ -47,21 +53,36 @@ class Dataset:
         return (self.offset + start_el * self.element_size,
                 count_el * self.element_size)
 
-    def write_slab(self) -> None:
-        """Collective write of the calling rank's hyperslab."""
+    # -- generator cores -------------------------------------------------------
+    def _g_write_slab(self):
         self.file._check_open()
         ctx = self.file._ctx
         off, ln = self.slab(ctx.rank, ctx.size)
         if ln > 0:
-            self.file._fh.write_at_all(off, ln)
+            yield from self.file._fh._g_write_at_all(off, ln)
+
+    def _g_read_slab(self):
+        self.file._check_open()
+        ctx = self.file._ctx
+        off, ln = self.slab(ctx.rank, ctx.size)
+        if ln > 0:
+            yield from self.file._fh._g_read_at_all(off, ln)
+
+    # -- blocking shells -------------------------------------------------------
+    def write_slab(self) -> None:
+        """Collective write of the calling rank's hyperslab."""
+        self.file._ctx._drive(self._g_write_slab())
 
     def read_slab(self) -> None:
         """Collective read of the calling rank's hyperslab."""
-        self.file._check_open()
-        ctx = self.file._ctx
-        off, ln = self.slab(ctx.rank, ctx.size)
-        if ln > 0:
-            self.file._fh.read_at_all(off, ln)
+        self.file._ctx._drive(self._g_read_slab())
+
+
+class CoroDataset(Dataset):
+    """Dataset for coroutine rank programs: slab ops are generators."""
+
+    write_slab = Dataset._g_write_slab
+    read_slab = Dataset._g_read_slab
 
 
 class _Attributes:
@@ -71,14 +92,21 @@ class _Attributes:
         self._file = h5file
         self._names: dict[str, int] = {}
 
-    def __setitem__(self, name: str, value: object) -> None:
+    def _g_set(self, name: str, value: object):
         self._file._check_open()
         if name not in self._names:
             self._names[name] = self._file._allocate(ATTRIBUTE_BYTES)
         # Attribute writes are rank-0 metadata updates (HDF5 collective
         # metadata semantics: one writer, others observe the handle).
         if self._file._ctx.rank == 0:
-            self._file._fh.write_at(self._names[name], ATTRIBUTE_BYTES)
+            yield from self._file._fh._g_write_at(self._names[name],
+                                                  ATTRIBUTE_BYTES)
+
+    #: Coroutine programs assign via ``yield from f.attrs.set(k, v)``.
+    set = _g_set
+
+    def __setitem__(self, name: str, value: object) -> None:
+        self._file._ctx._drive(self._g_set(name, value))
 
     def __contains__(self, name: str) -> bool:
         return name in self._names
@@ -94,23 +122,30 @@ class H5File:
             zeta.write_slab()
     """
 
+    _ds_class: type = Dataset
+
     def __init__(self, ctx: RankContext, name: str, mode: str = "w"):
+        self._setup(ctx, name, mode)
+        ctx._drive(self._g_open_io())
+
+    def _setup(self, ctx, name: str, mode: str) -> None:
         self._ctx = ctx
         self.name = name
         self.mode = mode
-        self._fh: SimFileHandle = ctx.file_open(name, mode="rw")
+        self._fh = None
         self._next_free = SUPERBLOCK_BYTES
         self._datasets: dict[str, Dataset] = {}
         self._closed = False
         self.attrs = _Attributes(self)
-        if "w" in mode and ctx.rank == 0:
-            # The superblock: one small metadata write at create time.
-            self._fh.write_at(0, SUPERBLOCK_BYTES)
 
-    # -- datasets --------------------------------------------------------------
-    def create_dataset(self, name: str, nbytes: int,
-                       element_size: int = 8) -> Dataset:
-        """Declare a dataset; reserves its extent, writes its header."""
+    def _g_open_io(self):
+        self._fh = yield from self._ctx._g_file_open(self.name, mode="rw")
+        if "w" in self.mode and self._ctx.rank == 0:
+            # The superblock: one small metadata write at create time.
+            yield from self._fh._g_write_at(0, SUPERBLOCK_BYTES)
+
+    # -- generator cores -------------------------------------------------------
+    def _g_create_dataset(self, name: str, nbytes: int, element_size: int = 8):
         self._check_open()
         if name in self._datasets:
             raise MPIUsageError(f"dataset {name!r} already exists in {self.name}")
@@ -121,12 +156,35 @@ class H5File:
         header_at = self._allocate(OBJECT_HEADER_BYTES)
         data_at = self._allocate(nbytes)
         if self._ctx.rank == 0:
-            self._fh.write_at(header_at, OBJECT_HEADER_BYTES)
-        ds = Dataset(name=name, offset=data_at, nbytes=nbytes,
-                     element_size=element_size, file=self)
+            yield from self._fh._g_write_at(header_at, OBJECT_HEADER_BYTES)
+        ds = self._ds_class(name=name, offset=data_at, nbytes=nbytes,
+                            element_size=element_size, file=self)
         self._datasets[name] = ds
         return ds
 
+    def _g_close(self):
+        if not self._closed:
+            self._closed = True
+            yield from self._fh._g_close()
+            yield from self._ctx._g_barrier()
+
+    # -- blocking shells -------------------------------------------------------
+    def create_dataset(self, name: str, nbytes: int,
+                       element_size: int = 8) -> Dataset:
+        """Declare a dataset; reserves its extent, writes its header."""
+        return self._ctx._drive(self._g_create_dataset(name, nbytes,
+                                                       element_size))
+
+    def close(self) -> None:
+        self._ctx._drive(self._g_close())
+
+    def __enter__(self) -> "H5File":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- shared ----------------------------------------------------------------
     def __getitem__(self, name: str) -> Dataset:
         try:
             return self._datasets[name]
@@ -137,20 +195,6 @@ class H5File:
     def datasets(self) -> list[str]:
         return list(self._datasets)
 
-    # -- lifecycle ----------------------------------------------------------------
-    def close(self) -> None:
-        if not self._closed:
-            self._closed = True
-            self._fh.close()
-            self._ctx.barrier()
-
-    def __enter__(self) -> "H5File":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    # -- internals -------------------------------------------------------------------
     def _check_open(self) -> None:
         if self._closed:
             raise MPIFileError(f"H5File {self.name!r} is closed")
@@ -159,3 +203,30 @@ class H5File:
         at = self._next_free
         self._next_free += nbytes
         return at
+
+
+class CoroH5File(H5File):
+    """H5File for coroutine rank programs.
+
+    Opened via the generator classmethod (``__init__`` would have to
+    block on the collective open)::
+
+        f = yield from CoroH5File.open(ctx, "his_0001.nc")
+        ds = yield from f.create_dataset("zeta", nbytes=grid2d)
+        yield from ds.write_slab()
+        yield from f.close()
+    """
+
+    _ds_class = CoroDataset
+
+    def __init__(self, ctx, name: str, mode: str = "w"):
+        self._setup(ctx, name, mode)
+
+    @classmethod
+    def open(cls, ctx, name: str, mode: str = "w"):
+        f = cls(ctx, name, mode)
+        yield from f._g_open_io()
+        return f
+
+    create_dataset = H5File._g_create_dataset
+    close = H5File._g_close

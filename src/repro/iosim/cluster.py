@@ -98,6 +98,21 @@ class Cluster:
         """BW_PK of this configuration (eqs. 3/4), in MB/s."""
         return self.globalfs.peak_bw(kind)
 
+    def fingerprint(self) -> tuple:
+        """Structural identity of the configuration, names excluded.
+
+        Two clusters with equal fingerprints are indistinguishable to the
+        simulator: same rank placement (compute-node fingerprints in
+        order), same data path (global FS + I/O nodes), same collective
+        costs (``compute_net``, ``cb_nodes``).  This is the cache key
+        half that lets memoized results transfer across factories.
+        """
+        return ("Cluster",
+                tuple(n.fingerprint() for n in self.compute_nodes),
+                self.globalfs.fingerprint(),
+                self.compute_net.fingerprint(),
+                self.cb_nodes)
+
     def reset(self) -> None:
         """Clear all queues, caches and monitor samples between experiments."""
         self.globalfs.reset()

@@ -81,6 +81,12 @@ class Disk:
         """Best-case streaming bandwidth in MB/s (no seeks, no overhead)."""
         return self.spec.seq_write_bw if kind == "write" else self.spec.seq_read_bw
 
+    def fingerprint(self) -> tuple:
+        """Performance-relevant identity, excluding the instance name."""
+        s = self.spec
+        return ("Disk", s.seq_write_bw, s.seq_read_bw, s.seek_ms,
+                s.rotational_ms, s.op_overhead_ms, s.capacity_gb)
+
     def reset(self) -> None:
         self.resource.reset()
         self._head = None

@@ -54,6 +54,8 @@ def stripe_shares(offset: int, length: int, stripe_bytes: int, n: int) -> list[i
     ``[k*stripe, (k+1)*stripe)``) lives on server ``k % n``.
     Computed in O(n) regardless of run length.
     """
+    if offset < 0:
+        raise ValueError(f"negative offset {offset} in stripe_shares")
     if length <= 0:
         return [0] * n
     shares = [0] * n
@@ -92,6 +94,10 @@ class GlobalFS:
 
     def peak_bw(self, kind: str) -> float:
         """Peak device-level bandwidth, eqs. (3)/(4), in MB/s."""
+        raise NotImplementedError
+
+    def fingerprint(self) -> tuple:
+        """Model parameters + I/O node identities (instance names excluded)."""
         raise NotImplementedError
 
     def reset(self) -> None:
@@ -145,6 +151,10 @@ class NFS(GlobalFS):
         # eq. (3): a single I/O node's device-level maximum.
         return self.server.peak_bw(kind)
 
+    def fingerprint(self) -> tuple:
+        return ("NFS", self.rpc_overhead_ms, self.read_chunk_kb,
+                self.read_rpc_ms, self.server.fingerprint())
+
 
 class PVFS2(GlobalFS):
     """PVFS2: round-robin striping across N data servers."""
@@ -196,6 +206,11 @@ class PVFS2(GlobalFS):
     def peak_bw(self, kind: str) -> float:
         # eq. (4): ideal sum over the I/O nodes.
         return sum(ion.peak_bw(kind) for ion in self.ions)
+
+    def fingerprint(self) -> tuple:
+        return ("PVFS2", self.stripe_bytes, self.meta_overhead_ms,
+                self.per_stripe_overhead_ms, self.interleave_seek_factor,
+                tuple(ion.fingerprint() for ion in self.ions))
 
 
 class Lustre(GlobalFS):
@@ -249,3 +264,9 @@ class Lustre(GlobalFS):
     def peak_bw(self, kind: str) -> float:
         # eq. (4) over all OSSes (system-wide capacity).
         return sum(ion.peak_bw(kind) for ion in self.ions)
+
+    def fingerprint(self) -> tuple:
+        return ("Lustre", self.stripe_bytes, self.stripe_count,
+                self.mds_overhead_ms, self.per_stripe_overhead_ms,
+                self.interleave_seek_factor,
+                tuple(ion.fingerprint() for ion in self.ions))

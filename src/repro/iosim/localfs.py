@@ -88,6 +88,13 @@ class LocalFS:
             return bw / (1.0 + self.spec.journal_write_overhead)
         return bw
 
+    def fingerprint(self) -> tuple:
+        """FS tuning + cache size + volume identity (names excluded)."""
+        s = self.spec
+        return ("LocalFS", s.op_latency_ms, s.journal_write_overhead,
+                s.readahead_benefit, s.memory_bw_mb_s, self.cache_mb,
+                self.volume.fingerprint())
+
     def reset(self) -> None:
         self.volume.reset()
         self._last_read_end = None

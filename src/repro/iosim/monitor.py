@@ -11,14 +11,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro import obs
 
 from .device import SECTOR_BYTES
 
 
-@dataclass(frozen=True)
-class TransferSample:
+class TransferSample(NamedTuple):
+    # A NamedTuple, not a frozen dataclass: one sample is built per
+    # simulated device transfer, squarely on the simulator's hot path.
     device: str
     begin: float
     end: float

@@ -39,6 +39,11 @@ class LinkSpec:
     load_period_s: float = 97.0
     load_phase: float = 0.0
 
+    def fingerprint(self) -> tuple:
+        """Performance parameters only -- ``name`` is a display label."""
+        return ("LinkSpec", self.bw_mb_s, self.latency_s,
+                self.load_amplitude, self.load_period_s, self.load_phase)
+
     def bw_at(self, t: float) -> float:
         """Effective bandwidth (MB/s) at virtual time ``t``."""
         if not self.load_amplitude:
@@ -67,6 +72,9 @@ class Link:
     def send(self, start: float, nbytes: int) -> tuple[float, float]:
         """Occupy the link for a message; returns (begin, end)."""
         return self.resource.acquire(start, self.cost(nbytes, at=start))
+
+    def fingerprint(self) -> tuple:
+        return ("Link", self.spec.fingerprint())
 
     def reset(self) -> None:
         self.resource.reset()

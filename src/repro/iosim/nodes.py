@@ -29,6 +29,9 @@ class ComputeNode:
         return cls(name=name, nic=Link(f"{name}.nic", link_spec), ram_gb=ram_gb,
                    cores=cores)
 
+    def fingerprint(self) -> tuple:
+        return ("ComputeNode", self.nic.fingerprint(), self.ram_gb, self.cores)
+
 
 @dataclass
 class IONode:
@@ -52,6 +55,13 @@ class IONode:
         empirically against ``fs``.
         """
         return self.fs.peak_bw(kind)
+
+    def fingerprint(self) -> tuple:
+        """Name-independent identity: configuration B's three I/O nodes
+        (``nasd0``..``nasd2``) differ only by name and hash equal, so one
+        IOzone characterization covers all of them."""
+        return ("IONode", self.nic.fingerprint(), self.fs.fingerprint(),
+                self.ram_gb)
 
     def reset(self) -> None:
         self.fs.reset()

@@ -42,6 +42,11 @@ class Volume:
         for d in self.disks:
             d.reset()
 
+    def fingerprint(self) -> tuple:
+        """Level + stripe size + member-disk fingerprints (names excluded)."""
+        return (type(self).__name__, getattr(self, "stripe_kb", None),
+                tuple(d.fingerprint() for d in self.disks))
+
     def attach_monitor(self, monitor) -> None:
         for d in self.disks:
             d.monitor = monitor

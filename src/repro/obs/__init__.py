@@ -121,6 +121,10 @@ def _preregister(reg: MetricsRegistry) -> None:
     reg.gauge("phase_bw_ch_mb_s",
               "Characterized bandwidth BW_CH per phase (eq. 1)",
               ("config", "phase"))
+    reg.counter("cache_hits_total",
+                "Simulation memo-cache hits (repro.core.cache)", ("cache",))
+    reg.counter("cache_misses_total",
+                "Simulation memo-cache misses (repro.core.cache)", ("cache",))
 
 
 # -- structured helpers (no-ops when disabled) ---------------------------------

@@ -13,7 +13,7 @@ Public surface::
     Engine(nprocs=4, platform=IdealPlatform()).run(program)
 """
 
-from .context import RankContext
+from .context import CoroContext, RankContext
 from .datatypes import (
     BYTE,
     DOUBLE,
@@ -34,7 +34,15 @@ from .errors import (
     RankFailedError,
     SimMPIError,
 )
-from .fileio import IOEvent, IORequestHandle, OP_NAMES, SimFile, SimFileHandle
+from .fileio import (
+    CoroFileHandle,
+    CoroIORequestHandle,
+    IOEvent,
+    IORequestHandle,
+    OP_NAMES,
+    SimFile,
+    SimFileHandle,
+)
 
 __all__ = [
     "BYTE",
@@ -43,6 +51,9 @@ __all__ = [
     "Comm",
     "CollectiveMismatch",
     "Contiguous",
+    "CoroContext",
+    "CoroFileHandle",
+    "CoroIORequestHandle",
     "Datatype",
     "DeadlockError",
     "Engine",

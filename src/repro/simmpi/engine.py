@@ -1,13 +1,29 @@
 """Deterministic discrete-event SPMD engine.
 
 This module is the substitute for a real MPI runtime (mpich2/OpenMPI in
-the paper).  Each rank of the simulated parallel application runs as a
-Python thread, but the engine enforces *strict one-at-a-time* execution:
-a rank thread runs only between two MPI calls, and every MPI call is a
+the paper).  The engine enforces *strict one-at-a-time* execution: a
+rank runs only between two MPI calls, and every MPI call is a
 scheduling point.  The scheduler always acts on the rank with the
 smallest ``(virtual clock, rank id)``, so a whole run is a pure function
 of the program -- identical traces on every execution (verified by the
 determinism tests).
+
+Two schedulers implement that contract:
+
+* the **coroutine scheduler** (default for generator rank programs):
+  every rank is a generator that *yields* op dicts to a single-threaded
+  event loop -- no threads, no locks, near-zero cost per simulated MPI
+  call.  Rank programs use ``yield from ctx.<verb>(...)`` with a
+  :class:`~repro.simmpi.context.CoroContext`.
+* the **threaded scheduler** (plain-callable rank programs): each rank
+  runs as a Python thread that blocks in :meth:`Engine.submit` between
+  MPI calls.  It predates the coroutine core and remains for programs
+  that cannot be expressed as generators.
+
+Both paths share the op-processing machinery (:meth:`Engine._process_op`
+and the collective/p2p matching), so a generator program produces
+bit-identical traces, clocks and ticks under either scheduler
+(``mode="threads"`` forces the threaded path for the equivalence tests).
 
 Virtual time is tracked per rank in seconds; *ticks* are per-rank logical
 event counters incremented at every MPI event, exactly the logical time
@@ -21,9 +37,12 @@ simulator (``repro.iosim.Cluster``) in real studies, or the trivial
 
 from __future__ import annotations
 
+import heapq
+import inspect
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Protocol, Sequence
+from functools import cached_property
+from typing import Any, Callable, Generator, Protocol, Sequence
 
 from repro import obs
 
@@ -63,8 +82,11 @@ class IORequest:
     collective: bool = False
     unique_file: bool = False
 
-    @property
+    @cached_property
     def nbytes(self) -> int:
+        # ``runs`` is fixed at construction (only ``start`` is mutated at
+        # service time), so the sum is computed once -- this property sits
+        # on the scheduler and platform hot paths.
         return sum(length for _, length in self.runs)
 
 
@@ -135,7 +157,9 @@ class _Collective:
 
     @property
     def complete(self) -> bool:
-        return frozenset(self.arrived) == self.expected
+        # Arrivals are membership-checked and at most one per rank per
+        # index, so counting replaces the per-arrival set comparison.
+        return len(self.arrived) == len(self.expected)
 
 
 class Comm:
@@ -153,6 +177,7 @@ class Comm:
         if len(set(world_ranks)) != len(world_ranks):
             raise MPIUsageError("communicator ranks must be unique")
         self.world_ranks = tuple(sorted(world_ranks))
+        self._members = frozenset(self.world_ranks)
         self.name = name
         self.cid = Comm._next_id
         Comm._next_id += 1
@@ -170,7 +195,7 @@ class Comm:
             ) from None
 
     def __contains__(self, world_rank: int) -> bool:
-        return world_rank in self.world_ranks
+        return world_rank in self._members
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Comm({self.name}, size={self.size})"
@@ -204,10 +229,15 @@ class Engine:
     record the paper's tracer needs.
     """
 
-    def __init__(self, nprocs: int, platform: Platform | None = None):
+    def __init__(self, nprocs: int, platform: Platform | None = None,
+                 mode: str = "auto"):
         if nprocs <= 0:
             raise MPIUsageError(f"nprocs must be positive, got {nprocs}")
+        if mode not in ("auto", "coro", "threads"):
+            raise MPIUsageError(
+                f"mode must be 'auto', 'coro' or 'threads', got {mode!r}")
         self.nprocs = nprocs
+        self.mode = mode
         self.platform: Platform = platform if platform is not None else IdealPlatform()
         self._states = [_RankState(r) for r in range(nprocs)]
         self._sched_event = threading.Event()
@@ -219,6 +249,9 @@ class Engine:
         self._next_file_id = 0
         self.world = Comm(range(nprocs), name="world")
         self._abort = False
+        # Coroutine-scheduler ready heap; None under the threaded
+        # scheduler, whose loop scans statuses itself.
+        self._woken: list[tuple[float, int]] | None = None
 
     # -- hooks ---------------------------------------------------------------
     def add_io_hook(self, hook: Callable[..., None]) -> None:
@@ -244,18 +277,155 @@ class Engine:
 
     # -- main entry ------------------------------------------------------------
     def run(self, program: Callable, *args: Any) -> RunResult:
-        """Execute ``program(ctx, *args)`` on every rank; return RunResult."""
-        from .context import RankContext  # local import to avoid cycle
+        """Execute ``program(ctx, *args)`` on every rank; return RunResult.
 
+        Generator programs (``yield from ctx...``) run on the
+        single-threaded coroutine scheduler; plain callables run on the
+        threaded scheduler.  ``mode="threads"`` forces a generator
+        program onto the threaded path (for equivalence testing);
+        ``mode="coro"`` rejects plain callables, which cannot be
+        suspended without a thread.
+        """
+        is_gen = inspect.isgeneratorfunction(program)
+        mode = self.mode
+        if mode == "auto":
+            mode = "coro" if is_gen else "threads"
+        if mode == "coro" and not is_gen:
+            raise MPIUsageError(
+                "the coroutine scheduler needs a generator rank program "
+                "(one using 'yield from ctx...'); plain callables require "
+                "mode='threads'")
         if obs.ACTIVE:
             obs.inc("engine_runs_total")
         run_span = obs.span("engine.run", cat="engine", nprocs=self.nprocs,
-                            platform=type(self.platform).__name__)
-        contexts = [RankContext(self, r) for r in range(self.nprocs)]
+                            platform=type(self.platform).__name__,
+                            scheduler=mode)
+        if mode == "coro":
+            with run_span:
+                self._run_coro(program, args)
+        else:
+            self._run_threads(program, args, is_gen, run_span)
+        return self._collect_result(run_span)
+
+    def _collect_result(self, run_span: Any) -> RunResult:
+        failed = [st for st in self._states if st.status == _FAILED]
+        if failed:
+            st = failed[0]
+            assert st.exception is not None
+            if isinstance(st.exception, SimMPIError):
+                raise st.exception
+            raise RankFailedError(st.rank, st.exception) from st.exception
+        run_span.annotate(
+            elapsed=max((st.clock for st in self._states), default=0.0))
+        return RunResult(
+            clocks={st.rank: st.clock for st in self._states},
+            ticks={st.rank: st.tick for st in self._states},
+        )
+
+    # -- coroutine scheduler -----------------------------------------------------
+    def _run_coro(self, program: Callable, args: tuple) -> None:
+        """Single-threaded event loop over generator rank programs.
+
+        Every rank is a generator; ``_WAITING_RESUME`` means "has an op
+        result to consume", and resuming is a plain ``gen.send`` instead
+        of a condition-variable handoff.  The pick rule and the op
+        processing are exactly the threaded scheduler's, so both paths
+        produce identical traces.
+        """
+        from .context import CoroContext  # local import to avoid cycle
+
+        states = self._states
+        gens: dict[int, Generator] = {}
+        # Lazy-deletion ready heap of (clock, rank): every rank gets an
+        # entry each time it becomes runnable (startup, `_wake`, or after
+        # posting an op below), and a rank's clock never changes *while*
+        # runnable, so the smallest non-stale entry is exactly the
+        # threaded scheduler's pick -- min (clock, rank) -- in O(log n)
+        # per step instead of an O(n) scan.
+        heap: list[tuple[float, int]] = []
+        heappush, heappop = heapq.heappush, heapq.heappop
+        self._woken = heap
+        for st in states:
+            gens[st.rank] = program(CoroContext(self, st.rank), *args)
+            st.status = _WAITING_RESUME
+            st.op_result = None
+            heappush(heap, (st.clock, st.rank))
+        n_done = 0
+        try:
+            while True:
+                st = None
+                while heap:
+                    clock, rank = heappop(heap)
+                    cand = states[rank]
+                    status = cand.status
+                    if ((status is _WAITING_SCHED
+                         or status is _WAITING_RESUME)
+                            and cand.clock == clock):
+                        st = cand
+                        break
+                if st is None:
+                    if n_done == len(states):
+                        return
+                    blocked = [s.rank for s in states
+                               if s.status == _IN_COLLECTIVE]
+                    raise DeadlockError(
+                        f"no runnable rank; ranks {blocked} blocked in collectives "
+                        f"{sorted((c.op, sorted(c.arrived)) for c in self._collectives.values())}"
+                    )
+                if st.status is _WAITING_SCHED:
+                    self._process_op(st)  # re-enqueues via _wake
+                    continue
+                # _WAITING_RESUME: feed the op result to the rank's
+                # generator; it runs until its next yielded op (or ends).
+                result, st.op_result = st.op_result, None
+                st.status = _RUNNING
+                try:
+                    if isinstance(result, BaseException):
+                        op = gens[st.rank].throw(result)
+                    else:
+                        op = gens[st.rank].send(result)
+                except StopIteration:
+                    st.status = _DONE
+                    n_done += 1
+                except _AbortRun:
+                    st.status = _DONE
+                    n_done += 1
+                except BaseException as exc:  # noqa: BLE001 - reported to caller
+                    st.exception = exc
+                    st.status = _FAILED
+                    return
+                else:
+                    st.pending = op
+                    st.status = _WAITING_SCHED
+                    heappush(heap, (st.clock, st.rank))
+        finally:
+            self._woken = None
+            for st in states:
+                if st.status not in (_DONE, _FAILED):
+                    gens[st.rank].close()
+
+    # -- threaded scheduler -------------------------------------------------------
+    def _run_threads(self, program: Callable, args: tuple, is_gen: bool,
+                     run_span: Any) -> None:
+        from .context import CoroContext, RankContext  # avoid cycle
+
+        if is_gen:
+            # Drive the generator from a per-rank thread: each yielded op
+            # goes through the same blocking ``submit`` a plain program
+            # would use, which is what makes the two schedulers
+            # trace-equivalent on the same program.
+            def entry(ctx: Any, *a: Any) -> None:
+                drive_blocking(self, ctx.rank, program(ctx, *a))
+
+            contexts: list[Any] = [CoroContext(self, r)
+                                   for r in range(self.nprocs)]
+        else:
+            entry = program
+            contexts = [RankContext(self, r) for r in range(self.nprocs)]
         for st, ctx in zip(self._states, contexts):
             st.thread = threading.Thread(
                 target=self._thread_main,
-                args=(st, program, ctx, args),
+                args=(st, entry, ctx, args),
                 name=f"simmpi-rank-{st.rank}",
                 daemon=True,
             )
@@ -272,20 +442,6 @@ class Engine:
             for st in self._states:
                 if st.thread is not None:
                     st.thread.join(timeout=5.0)
-
-        failed = [st for st in self._states if st.status == _FAILED]
-        if failed:
-            st = failed[0]
-            assert st.exception is not None
-            if isinstance(st.exception, SimMPIError):
-                raise st.exception
-            raise RankFailedError(st.rank, st.exception) from st.exception
-        run_span.annotate(
-            elapsed=max((st.clock for st in self._states), default=0.0))
-        return RunResult(
-            clocks={st.rank: st.clock for st in self._states},
-            ticks={st.rank: st.tick for st in self._states},
-        )
 
     # -- rank thread ------------------------------------------------------------
     def _thread_main(self, st: _RankState, program: Callable, ctx: Any, args: tuple) -> None:
@@ -354,6 +510,17 @@ class Engine:
                 self._sched_event.wait()
                 self._sched_event.clear()
 
+    def _wake(self, st: _RankState) -> None:
+        """Mark a rank runnable (clock and op_result must be final).
+
+        Under the coroutine scheduler this also enqueues the rank on
+        the ready heap; the threaded scheduler's loop scans statuses
+        itself and ignores the heap.
+        """
+        st.status = _WAITING_RESUME
+        if self._woken is not None:
+            heapq.heappush(self._woken, (st.clock, st.rank))
+
     def _process_op(self, st: _RankState) -> None:
         op = st.pending
         st.pending = None
@@ -366,14 +533,14 @@ class Engine:
             st.clock += duration
             st.tick += op.get("ticks", 1)
             st.op_result = result
-            st.status = _WAITING_RESUME
+            self._wake(st)
         elif kind == "collective":
             self._arrive_collective(st, op)
         elif kind == "p2p":
             self._arrive_p2p(st, op)
         else:  # pragma: no cover - defensive
             st.op_result = MPIUsageError(f"unknown op kind {kind!r}")
-            st.status = _WAITING_RESUME
+            self._wake(st)
 
     # -- point-to-point -------------------------------------------------------
     def _arrive_p2p(self, st: _RankState, op: Any) -> None:
@@ -404,7 +571,7 @@ class Engine:
             st.clock = t0 + dur
             st.tick += op.get("ticks", 1)
             st.op_result = send_op.get("payload")
-            st.status = _WAITING_RESUME
+            self._wake(st)
 
     # -- collectives ---------------------------------------------------------------
     def _arrive_collective(self, st: _RankState, op: Any) -> None:
@@ -413,7 +580,7 @@ class Engine:
             st.op_result = MPIUsageError(
                 f"rank {st.rank} called a collective on {comm!r} it does not belong to"
             )
-            st.status = _WAITING_RESUME
+            self._wake(st)
             return
         count_key = (comm.cid, st.rank)
         index = self._coll_counts.get(count_key, 0)
@@ -435,11 +602,11 @@ class Engine:
             )
             # Fail everyone involved to unblock the run.
             st.op_result = err
-            st.status = _WAITING_RESUME
+            self._wake(st)
             for r, arr in coll.arrived.items():
                 peer = self._states[r]
                 peer.op_result = err
-                peer.status = _WAITING_RESUME
+                self._wake(peer)
             del self._collectives[key]
             return
         coll.arrived[st.rank] = op
@@ -462,8 +629,34 @@ class Engine:
             p.clock = t0 + durations.get(p.rank, 0.0)
             p.tick += ops[p.rank].get("ticks", 1)
             p.op_result = results.get(p.rank)
-            p.status = _WAITING_RESUME
+            self._wake(p)
 
 
 class _AbortRun(BaseException):
     """Internal: unwinds rank threads when the run is torn down."""
+
+
+def drive_blocking(engine: Engine, rank: int, gen: Generator) -> Any:
+    """Run a generator of ops to completion via blocking ``Engine.submit``.
+
+    This is the bridge between the generator-core MPI verbs and the two
+    execution styles: the blocking API (:class:`~repro.simmpi.context.
+    RankContext`) drives each verb's generator through ``submit`` from
+    the calling rank thread, and the threaded scheduler uses it to run
+    whole generator programs for the golden-trace equivalence tests.
+
+    Exceptions produced by an op are thrown *into* the generator so
+    program-level handlers and ``finally`` blocks behave exactly as they
+    do under the coroutine scheduler.
+    """
+    resume, payload = gen.send, None
+    while True:
+        try:
+            op = resume(payload)
+        except StopIteration as stop:
+            return stop.value
+        try:
+            payload = engine.submit(rank, op)
+            resume = gen.send
+        except BaseException as exc:  # noqa: BLE001 - delivered to the program
+            resume, payload = gen.throw, exc

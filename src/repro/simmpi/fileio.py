@@ -17,6 +17,12 @@ elementary-type units of the current view), while request sizes are in
 Fig. 2 shows offsets stepping by 265302 (etypes of 40 bytes) while the
 request size column reads 10612080 bytes.
 
+Every operation is implemented once as a generator core (``_g_*`` in
+:class:`_FileHandleCore`) yielding op dicts to the engine.  Two shells
+expose them: :class:`SimFileHandle` (blocking, for plain rank programs
+on the threaded scheduler) and :class:`CoroFileHandle` (generator, for
+``yield from``-style programs on the coroutine scheduler).
+
 Every data operation produces an :class:`IOEvent` delivered to the
 engine's I/O hooks; the tracer (``repro.tracer``) turns those into the
 paper's trace-file format.  Offsets in events are *view-relative etype
@@ -27,10 +33,10 @@ the view-mapped absolute byte runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Generator
 
 from .datatypes import BYTE, Datatype, FileView
-from .engine import Comm, Engine, IORequest
+from .engine import Comm, Engine, IORequest, drive_blocking
 from .errors import MPIFileError, MPIUsageError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -109,8 +115,16 @@ class SimFile:
             self.size = end
 
 
-class SimFileHandle:
-    """A rank's handle onto a simulated file (view + individual pointer)."""
+class _FileHandleCore:
+    """A rank's handle onto a simulated file (view + individual pointer).
+
+    Holds all state and the generator cores of every MPI-IO verb; the
+    blocking/coroutine shells below only choose how the yielded ops
+    reach the engine.
+    """
+
+    #: Completion-handle class the nonblocking verbs produce.
+    _req_handle_class: type["IORequestHandle"]
 
     def __init__(self, engine: Engine, ctx: "RankContext", simfile: SimFile,
                  mode: str, comm: Comm):
@@ -125,9 +139,9 @@ class SimFileHandle:
 
     # -- open / close --------------------------------------------------------------
     @classmethod
-    def open(cls, engine: Engine, ctx: "RankContext", filename: str,
-             mode: str = "rw", unique: bool = False,
-             comm: Comm | None = None) -> "SimFileHandle":
+    def _g_open(cls, engine: Engine, ctx: "RankContext", filename: str,
+                mode: str = "rw", unique: bool = False,
+                comm: Comm | None = None) -> Generator:
         comm = comm or engine.world
         actual_name = f"{filename}.{ctx.rank}" if unique else filename
         simfile = engine.get_file(actual_name, lambda fid: SimFile(fid, actual_name, unique))
@@ -135,33 +149,31 @@ class SimFileHandle:
 
         platform = engine.platform
 
-        def finalize(t0: float, ops: dict[int, Any]):
-            dur = platform.comm_time(0, len(ops), "file_open", t0)
-            return {r: dur for r in ops}, {r: None for r in ops}
-
         if unique:
             # Opening a per-process file is an independent event.
-            engine.submit(ctx.rank, {
+            yield {
                 "kind": "local", "ticks": 1,
                 "fn": lambda start: (platform.comm_time(0, 1, "file_open", start), None),
-            })
+            }
         else:
-            ctx._collective("file_open", comm, finalize)
+            def finalize(t0: float, ops: dict[int, Any]):
+                dur = platform.comm_time(0, len(ops), "file_open", t0)
+                return {r: dur for r in ops}, {r: None for r in ops}
+
+            yield from ctx._g_collective("file_open", comm, finalize)
         simfile.openers.add(ctx.rank)
         return handle
 
-    def close(self) -> None:
+    def _g_close(self) -> Generator:
         """Close the handle (counts as one MPI event, negligible time)."""
         self._check_open()
         self.closed = True
         # Bookkeeping only: not a traced MPI event (no tick).
-        self._engine.submit(self._ctx.rank, {
-            "kind": "local", "ticks": 0, "fn": lambda start: (0.0, None),
-        })
+        yield {"kind": "local", "ticks": 0, "fn": lambda start: (0.0, None)}
 
     # -- views ------------------------------------------------------------------------
-    def set_view(self, disp: int = 0, etype: Datatype = BYTE,
-                 filetype: Datatype | None = None) -> None:
+    def _g_set_view(self, disp: int = 0, etype: Datatype = BYTE,
+                    filetype: Datatype | None = None) -> Generator:
         """``MPI_File_set_view``: install a (possibly strided) view."""
         self._check_open()
         self.view = FileView(disp=disp, etype=etype, filetype=filetype or etype)
@@ -175,40 +187,37 @@ class SimFileHandle:
                 f"filetype(size={ft.size},extent={ft.extent})"
             )
         # View installation is metadata, not a data event (no tick).
-        self._engine.submit(self._ctx.rank, {
-            "kind": "local", "ticks": 0, "fn": lambda start: (0.0, None),
-        })
+        yield {"kind": "local", "ticks": 0, "fn": lambda start: (0.0, None)}
 
     # -- explicit offset ----------------------------------------------------------------
-    def write_at(self, offset: int, nbytes: int) -> None:
-        self._independent_io("write", "explicit", offset, nbytes)
+    def _g_write_at(self, offset: int, nbytes: int) -> Generator:
+        return (yield from self._g_independent_io("write", "explicit", offset, nbytes))
 
-    def read_at(self, offset: int, nbytes: int) -> None:
-        self._independent_io("read", "explicit", offset, nbytes)
+    def _g_read_at(self, offset: int, nbytes: int) -> Generator:
+        return (yield from self._g_independent_io("read", "explicit", offset, nbytes))
 
-    # -- nonblocking explicit offset -------------------------------------------------
-    def iwrite_at(self, offset: int, nbytes: int) -> "IORequestHandle":
+    def _g_iwrite_at(self, offset: int, nbytes: int) -> Generator:
         """``MPI_File_iwrite_at``: starts the write, returns a handle.
 
         The operation is charged against the I/O subsystem immediately
         (the resource is occupied), but the rank's clock does not
-        advance until :meth:`IORequestHandle.wait` -- modelling
-        computation/I/O overlap.
+        advance until the handle's ``wait`` -- modelling computation/I/O
+        overlap.
         """
-        return self._nonblocking_io("write", offset, nbytes)
+        return (yield from self._g_nonblocking_io("write", offset, nbytes))
 
-    def iread_at(self, offset: int, nbytes: int) -> "IORequestHandle":
-        """``MPI_File_iread_at``: see :meth:`iwrite_at`."""
-        return self._nonblocking_io("read", offset, nbytes)
+    def _g_iread_at(self, offset: int, nbytes: int) -> Generator:
+        """``MPI_File_iread_at``: see ``iwrite_at``."""
+        return (yield from self._g_nonblocking_io("read", offset, nbytes))
 
-    def write_at_all(self, offset: int, nbytes: int) -> None:
-        self._collective_io("write", "explicit", offset, nbytes)
+    def _g_write_at_all(self, offset: int, nbytes: int) -> Generator:
+        return (yield from self._g_collective_io("write", "explicit", offset, nbytes))
 
-    def read_at_all(self, offset: int, nbytes: int) -> None:
-        self._collective_io("read", "explicit", offset, nbytes)
+    def _g_read_at_all(self, offset: int, nbytes: int) -> Generator:
+        return (yield from self._g_collective_io("read", "explicit", offset, nbytes))
 
     # -- individual pointer ----------------------------------------------------------------
-    def seek(self, offset: int, whence: str = "set") -> None:
+    def _g_seek(self, offset: int, whence: str = "set") -> Generator:
         """``MPI_File_seek`` on the individual pointer (etype units)."""
         self._check_open()
         if whence == "set":
@@ -223,36 +232,34 @@ class SimFileHandle:
             raise MPIFileError(f"seek to negative offset {new}")
         self.individual_pointer = new
         # Pointer bookkeeping, not a traced MPI event (no tick).
-        self._engine.submit(self._ctx.rank, {
-            "kind": "local", "ticks": 0, "fn": lambda start: (0.0, None),
-        })
+        yield {"kind": "local", "ticks": 0, "fn": lambda start: (0.0, None)}
 
-    def write(self, nbytes: int) -> None:
+    def _g_write(self, nbytes: int) -> Generator:
         off = self.individual_pointer
-        self._independent_io("write", "individual", off, nbytes)
+        yield from self._g_independent_io("write", "individual", off, nbytes)
         self.individual_pointer = off + self._etypes(nbytes)
 
-    def read(self, nbytes: int) -> None:
+    def _g_read(self, nbytes: int) -> Generator:
         off = self.individual_pointer
-        self._independent_io("read", "individual", off, nbytes)
+        yield from self._g_independent_io("read", "individual", off, nbytes)
         self.individual_pointer = off + self._etypes(nbytes)
 
-    def write_all(self, nbytes: int) -> None:
+    def _g_write_all(self, nbytes: int) -> Generator:
         off = self.individual_pointer
-        self._collective_io("write", "individual", off, nbytes)
+        yield from self._g_collective_io("write", "individual", off, nbytes)
         self.individual_pointer = off + self._etypes(nbytes)
 
-    def read_all(self, nbytes: int) -> None:
+    def _g_read_all(self, nbytes: int) -> Generator:
         off = self.individual_pointer
-        self._collective_io("read", "individual", off, nbytes)
+        yield from self._g_collective_io("read", "individual", off, nbytes)
         self.individual_pointer = off + self._etypes(nbytes)
 
     # -- shared pointer ----------------------------------------------------------------------
-    def write_shared(self, nbytes: int) -> None:
-        self._shared_io("write", nbytes)
+    def _g_write_shared(self, nbytes: int) -> Generator:
+        return (yield from self._g_shared_io("write", nbytes))
 
-    def read_shared(self, nbytes: int) -> None:
-        self._shared_io("read", nbytes)
+    def _g_read_shared(self, nbytes: int) -> Generator:
+        return (yield from self._g_shared_io("read", nbytes))
 
     # -- internals ----------------------------------------------------------------------------
     def _check_open(self) -> None:
@@ -326,8 +333,8 @@ class SimFileHandle:
         )
         self._engine.emit_io_event(event)
 
-    def _independent_io(self, kind: str, addressing: str, offset: int,
-                        nbytes: int) -> None:
+    def _g_independent_io(self, kind: str, addressing: str, offset: int,
+                          nbytes: int) -> Generator:
         self._check_io(kind, nbytes)
         self._mark_meta(addressing, collective=False)
         req = self._build_request(kind, offset, nbytes, collective=False)
@@ -346,10 +353,10 @@ class SimFileHandle:
                        tick, abs_off)
             return duration, None
 
-        engine.submit(rank, {"kind": "local", "ticks": 1, "fn": fn})
+        yield {"kind": "local", "ticks": 1, "fn": fn}
 
-    def _collective_io(self, kind: str, addressing: str, offset: int,
-                       nbytes: int) -> None:
+    def _g_collective_io(self, kind: str, addressing: str, offset: int,
+                         nbytes: int) -> Generator:
         self._check_io(kind, nbytes)
         self._mark_meta(addressing, collective=True)
         req = self._build_request(kind, offset, nbytes, collective=True)
@@ -368,7 +375,7 @@ class SimFileHandle:
                 peer_req = ops[r]["req"]
                 if kind == "write" and peer_req.runs:
                     simfile.grow(peer_req.runs[-1][0] + peer_req.runs[-1][1])
-                peer_handle: SimFileHandle = ops[r]["handle"]
+                peer_handle: _FileHandleCore = ops[r]["handle"]
                 tick = engine._states[r].tick + 1
                 abs_off = peer_req.runs[0][0] if peer_req.runs else 0
                 peer_handle._emit(kind, addressing, True, ops[r]["view_offset"],
@@ -376,11 +383,12 @@ class SimFileHandle:
             return durations, {r: None for r in ops}
 
         name = OP_NAMES[(kind, addressing, True)]
-        self._ctx._collective(name, self.comm, finalize, req=req, handle=handle,
-                              view_offset=offset, nbytes=nbytes)
+        yield from self._ctx._g_collective(name, self.comm, finalize, req=req,
+                                           handle=handle, view_offset=offset,
+                                           nbytes=nbytes)
 
-    def _nonblocking_io(self, kind: str, offset: int,
-                        nbytes: int) -> "IORequestHandle":
+    def _g_nonblocking_io(self, kind: str, offset: int,
+                          nbytes: int) -> Generator:
         self._check_io(kind, nbytes)
         self._mark_meta("explicit", collective=False)
         self.file.meta.used_nonblocking = True
@@ -388,7 +396,7 @@ class SimFileHandle:
         engine = self._engine
         rank = self._ctx.rank
         simfile = self.file
-        handle = IORequestHandle(self)
+        handle = self._req_handle_class(self)
 
         op_name = "MPI_File_iwrite_at" if kind == "write" else "MPI_File_iread_at"
 
@@ -410,10 +418,10 @@ class SimFileHandle:
             # The rank continues immediately: overlap with computation.
             return 0.0, None
 
-        engine.submit(rank, {"kind": "local", "ticks": 1, "fn": fn})
+        yield {"kind": "local", "ticks": 1, "fn": fn}
         return handle
 
-    def _shared_io(self, kind: str, nbytes: int) -> None:
+    def _g_shared_io(self, kind: str, nbytes: int) -> Generator:
         self._check_io(kind, nbytes)
         self._mark_meta("shared", collective=False)
         engine = self._engine
@@ -435,13 +443,99 @@ class SimFileHandle:
                          tick, abs_off)
             return duration, None
 
-        engine.submit(rank, {"kind": "local", "ticks": 1, "fn": fn})
+        yield {"kind": "local", "ticks": 1, "fn": fn}
+
+
+class SimFileHandle(_FileHandleCore):
+    """Blocking shell over the file-handle core (threaded scheduler)."""
+
+    def _drive(self, gen: Generator) -> Any:
+        return drive_blocking(self._engine, self._ctx.rank, gen)
+
+    @classmethod
+    def open(cls, engine: Engine, ctx: "RankContext", filename: str,
+             mode: str = "rw", unique: bool = False,
+             comm: Comm | None = None) -> "SimFileHandle":
+        return drive_blocking(engine, ctx.rank,
+                              cls._g_open(engine, ctx, filename, mode=mode,
+                                          unique=unique, comm=comm))
+
+    def close(self) -> None:
+        return self._drive(self._g_close())
+
+    def set_view(self, disp: int = 0, etype: Datatype = BYTE,
+                 filetype: Datatype | None = None) -> None:
+        return self._drive(self._g_set_view(disp, etype, filetype))
+
+    def write_at(self, offset: int, nbytes: int) -> None:
+        return self._drive(self._g_write_at(offset, nbytes))
+
+    def read_at(self, offset: int, nbytes: int) -> None:
+        return self._drive(self._g_read_at(offset, nbytes))
+
+    def iwrite_at(self, offset: int, nbytes: int) -> "IORequestHandle":
+        return self._drive(self._g_iwrite_at(offset, nbytes))
+
+    def iread_at(self, offset: int, nbytes: int) -> "IORequestHandle":
+        return self._drive(self._g_iread_at(offset, nbytes))
+
+    def write_at_all(self, offset: int, nbytes: int) -> None:
+        return self._drive(self._g_write_at_all(offset, nbytes))
+
+    def read_at_all(self, offset: int, nbytes: int) -> None:
+        return self._drive(self._g_read_at_all(offset, nbytes))
+
+    def seek(self, offset: int, whence: str = "set") -> None:
+        return self._drive(self._g_seek(offset, whence))
+
+    def write(self, nbytes: int) -> None:
+        return self._drive(self._g_write(nbytes))
+
+    def read(self, nbytes: int) -> None:
+        return self._drive(self._g_read(nbytes))
+
+    def write_all(self, nbytes: int) -> None:
+        return self._drive(self._g_write_all(nbytes))
+
+    def read_all(self, nbytes: int) -> None:
+        return self._drive(self._g_read_all(nbytes))
+
+    def write_shared(self, nbytes: int) -> None:
+        return self._drive(self._g_write_shared(nbytes))
+
+    def read_shared(self, nbytes: int) -> None:
+        return self._drive(self._g_read_shared(nbytes))
+
+
+class CoroFileHandle(_FileHandleCore):
+    """Generator shell over the file-handle core (coroutine scheduler).
+
+    Every method returns a generator to be delegated to with
+    ``yield from``, e.g. ``yield from fh.write_at(0, 1024)``.
+    """
+
+    open = _FileHandleCore._g_open
+    close = _FileHandleCore._g_close
+    set_view = _FileHandleCore._g_set_view
+    write_at = _FileHandleCore._g_write_at
+    read_at = _FileHandleCore._g_read_at
+    iwrite_at = _FileHandleCore._g_iwrite_at
+    iread_at = _FileHandleCore._g_iread_at
+    write_at_all = _FileHandleCore._g_write_at_all
+    read_at_all = _FileHandleCore._g_read_at_all
+    seek = _FileHandleCore._g_seek
+    write = _FileHandleCore._g_write
+    read = _FileHandleCore._g_read
+    write_all = _FileHandleCore._g_write_all
+    read_all = _FileHandleCore._g_read_all
+    write_shared = _FileHandleCore._g_write_shared
+    read_shared = _FileHandleCore._g_read_shared
 
 
 class IORequestHandle:
     """Completion handle for a nonblocking I/O operation (``MPI_Wait``)."""
 
-    def __init__(self, fh: SimFileHandle):
+    def __init__(self, fh: _FileHandleCore):
         self._fh = fh
         self._completion: float | None = None
         self._done = False
@@ -450,13 +544,11 @@ class IORequestHandle:
     def completed(self) -> bool:
         return self._done
 
-    def wait(self) -> None:
+    def _g_wait(self) -> Generator:
         """Block until the operation completes (advances virtual time)."""
         if self._done:
             return
         self._done = True
-        engine = self._fh._engine
-        rank = self._fh._ctx.rank
         completion = self._completion
 
         def fn(start: float):
@@ -465,7 +557,11 @@ class IORequestHandle:
             return max(0.0, completion - start), None
 
         # Waiting is synchronization bookkeeping, not a traced data event.
-        engine.submit(rank, {"kind": "local", "ticks": 0, "fn": fn})
+        yield {"kind": "local", "ticks": 0, "fn": fn}
+
+    def wait(self) -> None:
+        """Block until the operation completes (advances virtual time)."""
+        drive_blocking(self._fh._engine, self._fh._ctx.rank, self._g_wait())
 
     def test(self) -> bool:
         """``MPI_Test``: non-blocking completion check."""
@@ -476,3 +572,13 @@ class IORequestHandle:
             self._done = True
             return True
         return False
+
+
+class CoroIORequestHandle(IORequestHandle):
+    """Generator-style completion handle: ``yield from handle.wait()``."""
+
+    wait = IORequestHandle._g_wait
+
+
+SimFileHandle._req_handle_class = IORequestHandle
+CoroFileHandle._req_handle_class = CoroIORequestHandle

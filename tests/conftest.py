@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import cache as simcache
 from repro.iosim import (
     EXT4,
     GIGABIT_ETHERNET,
@@ -41,6 +42,14 @@ def make_pvfs_cluster(n_compute: int = 4, n_ions: int = 3,
         ions.append(IONode.make(f"ion{i}", fs))
     nodes = [ComputeNode.make(f"cn{i}") for i in range(n_compute)]
     return Cluster("test-pvfs", nodes, PVFS2(ions), GIGABIT_ETHERNET)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sim_caches():
+    """Keep tests hermetic: no memoized results leak across tests."""
+    simcache.clear_all()
+    yield
+    simcache.clear_all()
 
 
 @pytest.fixture

@@ -1,0 +1,122 @@
+"""Memoization layer: fingerprints, cache hits, stats and obs counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.apps.ior import IORParams, run_ior
+from repro.apps.iozone import IOzoneParams, run_iozone
+from repro.clusters import configuration_a, configuration_b
+from repro.core import cache as simcache
+
+from tests.conftest import make_nfs_cluster, make_pvfs_cluster
+
+MB = 1024 * 1024
+
+
+class TestFingerprints:
+    def test_same_structure_same_fingerprint(self):
+        assert make_nfs_cluster().fingerprint() == make_nfs_cluster().fingerprint()
+        assert make_pvfs_cluster().fingerprint() == make_pvfs_cluster().fingerprint()
+
+    def test_names_do_not_matter(self):
+        b = configuration_b()
+        fps = {ion.fingerprint() for ion in b.globalfs.ions}
+        names = {ion.name for ion in b.globalfs.ions}
+        assert len(names) == len(b.globalfs.ions)  # distinct names...
+        assert len(fps) == 1  # ...same structural identity
+
+    def test_parameters_do_matter(self):
+        assert (make_nfs_cluster(cache_mb=64).fingerprint()
+                != make_nfs_cluster(cache_mb=128).fingerprint())
+        assert (make_nfs_cluster(n_disks=5).fingerprint()
+                != make_nfs_cluster(n_disks=4).fingerprint())
+        assert make_nfs_cluster().fingerprint() != make_pvfs_cluster().fingerprint()
+
+    def test_factory_fingerprint_memoized(self):
+        fp1 = simcache.factory_fingerprint(configuration_a)
+        fp2 = simcache.factory_fingerprint(configuration_a)
+        assert fp1 == fp2 == configuration_a().fingerprint()
+
+    def test_platform_without_fingerprint_opts_out(self):
+        class Bare:
+            pass
+
+        assert simcache.platform_fingerprint(Bare()) is None
+
+
+class TestRunIorMemo:
+    def test_hit_returns_equal_result(self):
+        params = IORParams(np=4, block_size=4 * MB, transfer_size=MB)
+        first = run_ior(make_nfs_cluster(), params)
+        stats0 = simcache.stats()["ior"]
+        second = run_ior(make_nfs_cluster(), params)
+        stats1 = simcache.stats()["ior"]
+        assert stats1["hits"] == stats0["hits"] + 1
+        assert second.bw_mb_s == first.bw_mb_s
+        assert second.times == first.times
+        # Defensive copy: mutating the hit must not poison the cache.
+        second.bw_mb_s["write"] = -1.0
+        third = run_ior(make_nfs_cluster(), params)
+        assert third.bw_mb_s == first.bw_mb_s
+
+    def test_different_params_miss(self):
+        run_ior(make_nfs_cluster(), IORParams(np=4, block_size=4 * MB,
+                                              transfer_size=MB))
+        before = simcache.stats()["ior"]
+        run_ior(make_nfs_cluster(), IORParams(np=4, block_size=4 * MB,
+                                              transfer_size=2 * MB))
+        after = simcache.stats()["ior"]
+        assert after["misses"] == before["misses"] + 1
+
+    def test_disable_bypasses(self):
+        params = IORParams(np=4, block_size=4 * MB, transfer_size=MB)
+        run_ior(make_nfs_cluster(), params)
+        simcache.disable()
+        try:
+            run_ior(make_nfs_cluster(), params)
+            assert simcache.stats()["ior"]["entries"] == 0
+        finally:
+            simcache.enable()
+
+
+class TestRunIozoneMemo:
+    def test_configuration_b_ions_share_one_characterization(self):
+        b = configuration_b()
+        params = IOzoneParams(file_size_mb=64)
+        results = [run_iozone(ion, params) for ion in b.globalfs.ions]
+        st = simcache.stats()["iozone"]
+        assert st["misses"] == 1
+        assert st["hits"] == len(b.globalfs.ions) - 1
+        # The hit keeps the asking node's name but shares the grid.
+        assert {r.ion_name for r in results} == {i.name for i in b.globalfs.ions}
+        assert results[0].grid == results[1].grid == results[2].grid
+
+
+class TestObsCounters:
+    def test_cache_counters_exported(self):
+        params = IORParams(np=4, block_size=4 * MB, transfer_size=MB)
+        _, registry = obs.enable()
+        try:
+            run_ior(make_nfs_cluster(), params)
+            run_ior(make_nfs_cluster(), params)
+            hits = registry.get("cache_hits_total").labels(cache="ior").value
+            misses = registry.get("cache_misses_total").labels(cache="ior").value
+            assert hits == 1.0
+            assert misses == 1.0
+        finally:
+            obs.disable()
+
+
+class TestSteadyStateClosure:
+    def test_closure_matches_full_simulation(self):
+        ion = configuration_a().globalfs.ions[0]
+        fast = run_iozone(ion, IOzoneParams(file_size_mb=256))
+        simcache.clear_all()
+        ion2 = configuration_a().globalfs.ions[0]
+        slow = run_iozone(ion2, IOzoneParams(file_size_mb=256,
+                                             steady_state_ops=0))
+        for key, bw_slow in slow.grid.items():
+            bw_fast = fast.grid[key]
+            assert bw_fast == pytest.approx(bw_slow, rel=1e-9), key

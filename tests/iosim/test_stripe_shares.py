@@ -1,0 +1,58 @@
+"""Property test: stripe_shares vs a brute-force per-stripe reference."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.iosim.globalfs import stripe_shares
+
+
+def brute_force_shares(offset: int, length: int, stripe_bytes: int,
+                       n: int) -> list[int]:
+    """Walk every stripe the run touches; O(length / stripe)."""
+    shares = [0] * n
+    pos = offset
+    end = offset + length
+    while pos < end:
+        stripe = pos // stripe_bytes
+        stripe_end = (stripe + 1) * stripe_bytes
+        take = min(end, stripe_end) - pos
+        shares[stripe % n] += take
+        pos += take
+    return shares
+
+
+def test_matches_brute_force_randomized():
+    rng = random.Random(20260807)
+    for _ in range(500):
+        stripe = rng.choice([1, 2, 512, 4096, 65536, 65537])
+        n = rng.randint(1, 9)
+        offset = rng.randint(0, 20 * stripe)
+        length = rng.randint(1, 30 * stripe + rng.randint(0, stripe))
+        got = stripe_shares(offset, length, stripe, n)
+        want = brute_force_shares(offset, length, stripe, n)
+        assert got == want, (offset, length, stripe, n)
+        assert sum(got) == length
+
+
+@pytest.mark.parametrize("offset,length,stripe,n", [
+    (0, 1, 1, 1),
+    (0, 65536, 65536, 4),        # exactly one stripe
+    (65535, 2, 65536, 4),        # straddles a boundary
+    (65536 * 3, 65536 * 8, 65536, 3),  # whole stripes, wraps rotation
+    (123, 0, 4096, 4),           # zero length
+    (123, -5, 4096, 4),          # negative length
+])
+def test_edge_cases(offset, length, stripe, n):
+    got = stripe_shares(offset, length, stripe, n)
+    if length <= 0:
+        assert got == [0] * n
+    else:
+        assert got == brute_force_shares(offset, length, stripe, n)
+
+
+def test_negative_offset_rejected():
+    with pytest.raises(ValueError, match="negative offset"):
+        stripe_shares(-1, 10, 4096, 4)

@@ -1,0 +1,104 @@
+"""Golden-trace equivalence: coroutine vs threaded scheduler.
+
+The coroutine scheduler replaces the thread-per-rank core but must
+preserve the exact deterministic ``(virtual clock, rank id)`` ordering.
+These tests run every seed app under both schedulers and assert
+bit-identical I/O event streams, final clocks and tick maps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.btio import BTIOParams, btio_program
+from repro.apps.ior import IORParams, ior_program
+from repro.apps.madbench2 import MADbench2Params, madbench2_program
+from repro.apps.roms import ROMSParams, roms_program
+from repro.apps.synthetic import SyntheticParams, synthetic_program
+from repro.simmpi.engine import Engine, IdealPlatform
+from repro.simmpi.errors import MPIUsageError
+from repro.simmpi.fileio import IOEvent
+
+from tests.conftest import make_nfs_cluster, make_pvfs_cluster
+
+
+def run_mode(mode, program, nprocs, platform, *args):
+    events: list[IOEvent] = []
+    engine = Engine(nprocs, platform=platform, mode=mode)
+    engine.add_io_hook(events.append)
+    run = engine.run(program, *args)
+    return events, run
+
+
+APPS = [
+    ("ior", ior_program, 4,
+     (IORParams(np=4, block_size=4 * 1024 * 1024,
+                transfer_size=1024 * 1024),)),
+    ("ior-collective", ior_program, 4,
+     (IORParams(np=4, block_size=4 * 1024 * 1024,
+                transfer_size=1024 * 1024, collective=True),)),
+    ("ior-unique", ior_program, 4,
+     (IORParams(np=4, block_size=4 * 1024 * 1024,
+                transfer_size=1024 * 1024, file_per_process=True,
+                random_offsets=True),)),
+    ("madbench2", madbench2_program, 4,
+     (MADbench2Params(kpix=1, nbin=4, busy_seconds=0.01),)),
+    ("madbench2-gangs", madbench2_program, 4,
+     (MADbench2Params(kpix=1, nbin=4, busy_seconds=0.01, ngang=2),)),
+    ("btio", btio_program, 4,
+     (BTIOParams(cls="A"),)),
+    ("synthetic", synthetic_program, 4,
+     (SyntheticParams(nrep=6),)),
+    ("roms", roms_program, 4,
+     (ROMSParams(nsteps=8, history_every=4),)),
+]
+
+
+@pytest.mark.parametrize("platform_maker", [IdealPlatform, make_nfs_cluster,
+                                            make_pvfs_cluster],
+                         ids=["ideal", "nfs", "pvfs"])
+@pytest.mark.parametrize("name,program,nprocs,args", APPS,
+                         ids=[a[0] for a in APPS])
+def test_bit_identical_across_schedulers(name, program, nprocs, args,
+                                         platform_maker):
+    ev_thr, run_thr = run_mode("threads", program, nprocs,
+                               platform_maker(), *args)
+    ev_coro, run_coro = run_mode("coro", program, nprocs,
+                                 platform_maker(), *args)
+
+    assert run_thr.clocks == run_coro.clocks  # bit-identical, no tolerance
+    assert run_thr.ticks == run_coro.ticks
+    assert len(ev_thr) == len(ev_coro)
+    for a, b in zip(ev_thr, ev_coro):
+        assert a == b
+
+
+def test_auto_mode_picks_coro_for_generators():
+    engine = Engine(2, platform=IdealPlatform())
+
+    def plain(ctx):
+        ctx.barrier()
+
+    engine.run(plain)  # callable -> threaded shell, still works
+
+    engine2 = Engine(2, platform=IdealPlatform(), mode="coro")
+
+    def gen(ctx):
+        yield from ctx.barrier()
+
+    engine2.run(gen)
+
+
+def test_coro_mode_rejects_plain_callables():
+    engine = Engine(2, platform=IdealPlatform(), mode="coro")
+
+    def plain(ctx):
+        ctx.barrier()
+
+    with pytest.raises(MPIUsageError):
+        engine.run(plain)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(MPIUsageError):
+        Engine(2, platform=IdealPlatform(), mode="fibers")
