@@ -1,19 +1,26 @@
 #!/usr/bin/env python
-"""Before/after wall-clock benchmark for the fast SPMD core.
+"""Before/after wall-clock benchmark for the fast SPMD core and the
+columnar characterization pipeline.
 
-Runs the paper's end-to-end workloads twice:
+Two workload families, each run twice:
 
-* **before** -- the pre-optimization engine: thread-per-rank scheduler,
-  memo caches disabled, full IOzone grids (no steady-state closure),
-  no repetition extrapolation;
-* **after**  -- the optimized core: coroutine scheduler, memoization,
-  IOzone steady-state closure, replay extrapolation where opt-in.
+* **simulation** (``full_study_*``, ``replay_high_rep``) -- before: the
+  pre-optimization engine (thread-per-rank scheduler, memo caches
+  disabled, full IOzone grids, no extrapolation); after: the optimized
+  core.
+* **characterization** (``characterize_*``) -- before: the per-record
+  reference pipeline (Fig. 2 text parse into ``TraceRecord`` objects,
+  record-by-record LAP/phase extraction); after: the columnar pipeline
+  (binary column load, vectorized extraction) -- once on the numpy
+  backend, once on the pure-Python fallback, plus a traced high-np ROMS
+  run.
 
-Both legs must produce the *same* numbers (BW_CH, Time_io, usage,
-errors) to 1e-9 -- the optimizations are exact, only faster.  Results
-land in ``BENCH_perf.json``; ``--check-baseline`` compares the "after"
-total against ``benchmarks/BENCH_baseline.json`` and exits non-zero on
-a >30 % regression (the CI perf job).
+Every workload's two legs must produce the *same* results (models are
+compared bit-for-bit) -- the optimizations are exact, only faster.
+Results land in ``BENCH_perf.json``; ``--check-baseline`` compares the
+"after" total against ``benchmarks/BENCH_baseline.json``, exits
+non-zero on a >30 % regression, and enforces each workload's minimum
+speedup (the characterization workloads must stay >= 5x).
 
 Usage::
 
@@ -25,14 +32,20 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import gc
 import json
+import os
 import sys
+import tempfile
 import time
 from contextlib import contextmanager
+from fractions import Fraction
 from pathlib import Path
+from typing import Callable
 
 from repro.apps.btio import BTIOParams, btio_program
 from repro.apps.madbench2 import MADbench2Params, madbench2_program
+from repro.apps.roms import ROMSParams, roms_program
 from repro.clusters import (
     configuration_a,
     configuration_b,
@@ -40,13 +53,16 @@ from repro.clusters import (
     finisterrae,
 )
 from repro.core import cache as simcache
+from repro.core.model import IOModel
 from repro.core.offsetfn import OffsetFunction
 from repro.core.phases import Phase, PhaseOp
 from repro.core.pipeline import full_study
 from repro.core.replayer import replay_phase
 from repro.simmpi.engine import Engine
-
-from fractions import Fraction
+from repro.tracer.columns import TraceColumns, numpy_enabled
+from repro.tracer.hooks import TraceBundle, trace_run
+from repro.tracer.metadata import AppMetadata, FileMetadataSummary
+from repro.tracer.tracefile import HEADER, read_trace_file
 
 MB = 1024 * 1024
 
@@ -102,7 +118,7 @@ def legacy_core():
         simcache.enable()
 
 
-# -- workloads ----------------------------------------------------------------
+# -- simulation workloads -----------------------------------------------------
 
 def study_madbench2() -> dict:
     """Tables VIII-X: MADbench2 usage on Aohyper configurations A and B."""
@@ -162,6 +178,156 @@ def replay_extrapolated() -> float:
     return replay_phase(phase, steady_cluster(), extrapolate_reps=8).bw_mb_s
 
 
+# -- characterization workloads -----------------------------------------------
+#
+# A large synthetic trace in the shape the paper's apps produce: every
+# rank runs the same phase sequence (tandem repetitions, unit length 1
+# or 2, tick gaps between phases, rank-linear initial offsets over two
+# files), so cross-rank phase grouping and the f(initOffset) fits all
+# engage.  Generated once into a temp directory as (a) per-rank Fig. 2
+# text files, (b) the packed '.trc' binary, (c) '.npz' when numpy is
+# available -- everything derived from the *text* rows, so both legs
+# see byte-identical inputs.
+
+SYNTH_RANKS = 64
+SYNTH_PHASES = 24
+SYNTH_REP = 140
+
+_datasets: dict = {}
+
+
+def _synth_metadata() -> AppMetadata:
+    files = [
+        FileMetadataSummary(
+            filename=name, file_id=fid, pointer_kinds=("explicit",),
+            collective=True, noncollective=False, access_mode="sequential",
+            access_type="shared", etype_size=1, size_bytes=0,
+            openers=SYNTH_RANKS)
+        for fid, name in ((0, "data.dat"), (1, "checkpoint.dat"))
+    ]
+    return AppMetadata(files=files)
+
+
+def _synth_rank_rows(rank: int) -> list[str]:
+    """One rank's trace rows: SYNTH_PHASES tick-separated phases."""
+    rows = []
+    tick = 0
+    t = rank * 0.001
+    for ph in range(SYNTH_PHASES):
+        unit = 2 if ph % 4 == 0 else 1
+        fid = ph % 2
+        rs = 65536 if fid == 0 else 16384
+        disp = rs * unit
+        base = rank * SYNTH_REP * disp + ph * 7 * MB
+        tick += 50  # communication gap: new burst, new phase
+        for k in range(SYNTH_REP):
+            for j in range(unit):
+                op = "MPI_File_write_at_all" if j == 0 else "MPI_File_read_at"
+                off = base + k * disp + j * rs
+                tick += 1
+                t += 1e-4
+                rows.append(f"{rank} {fid} {op} {off} {tick} {rs} "
+                            f"{t:.6f} {1e-4:.6f} {off}")
+    return rows
+
+
+def characterization_dataset() -> dict:
+    """Generate (once) the synthetic trace in all three formats."""
+    if "synth" in _datasets:
+        return _datasets["synth"]
+    directory = Path(tempfile.mkdtemp(prefix="bench_char_"))
+    for rank in range(SYNTH_RANKS):
+        rows = _synth_rank_rows(rank)
+        (directory / f"trace.{rank}").write_text(
+            HEADER + "\n" + "\n".join(rows) + "\n")
+    # canonical columns come from re-reading the text, so the binary
+    # legs consume exactly what the text legs parse
+    parts = [
+        TraceColumns.from_records(
+            read_trace_file(directory / f"trace.{rank}"), backend="python")
+        for rank in range(SYNTH_RANKS)
+    ]
+    cols = TraceColumns.concat(parts)
+    cols.save(directory / "columns.trc")
+    if numpy_enabled():
+        TraceColumns.load(directory / "columns.trc").save(
+            directory / "columns.npz")
+    ds = {"dir": directory, "nranks": SYNTH_RANKS, "nevents": len(cols),
+          "metadata": _synth_metadata()}
+    _datasets["synth"] = ds
+    return ds
+
+
+def characterize_synth_records() -> IOModel:
+    """Before leg: text parse into records + reference extraction."""
+    ds = characterization_dataset()
+    records = []
+    for rank in range(ds["nranks"]):
+        records.extend(read_trace_file(ds["dir"] / f"trace.{rank}"))
+    bundle = TraceBundle(nprocs=ds["nranks"], records=records,
+                         metadata=ds["metadata"])
+    return IOModel.from_trace(bundle, app_name="synth_large",
+                              method="records")
+
+
+def characterize_synth_columnar() -> IOModel:
+    """After leg (numpy): binary column load + vectorized extraction."""
+    ds = characterization_dataset()
+    name = "columns.npz" if numpy_enabled() else "columns.trc"
+    cols = TraceColumns.load(ds["dir"] / name)
+    return IOModel.from_columns(cols, ds["metadata"], ds["nranks"],
+                                app_name="synth_large")
+
+
+def characterize_synth_fallback() -> IOModel:
+    """After leg (no numpy): packed '.trc' load + pure-Python kernels."""
+    ds = characterization_dataset()
+    os.environ["REPRO_NO_NUMPY"] = "1"
+    try:
+        cols = TraceColumns.load(ds["dir"] / "columns.trc", backend="python")
+        return IOModel.from_columns(cols, ds["metadata"], ds["nranks"],
+                                    app_name="synth_large")
+    finally:
+        del os.environ["REPRO_NO_NUMPY"]
+
+
+def roms_dataset() -> dict:
+    """Trace a high-np ROMS run once (untimed) and store it both ways.
+
+    The binary layout is re-derived from the *text* files so both legs
+    parse float-identical inputs (text carries 6 decimal places)."""
+    if "roms" in _datasets:
+        return _datasets["roms"]
+    bundle = trace_run(roms_program, 32, None,
+                       ROMSParams(nsteps=600, history_every=2))
+    text_dir = Path(tempfile.mkdtemp(prefix="bench_roms_text_"))
+    bin_dir = Path(tempfile.mkdtemp(prefix="bench_roms_bin_"))
+    bundle.save(text_dir)
+    canon = TraceBundle.load(text_dir)
+    canon.save(bin_dir, binary=True)
+    ds = {"text_dir": text_dir, "bin_dir": bin_dir,
+          "metadata": canon.metadata, "nprocs": canon.nprocs}
+    _datasets["roms"] = ds
+    return ds
+
+
+def characterize_roms_records() -> IOModel:
+    ds = roms_dataset()
+    records = []
+    for rank in range(ds["nprocs"]):
+        records.extend(read_trace_file(ds["text_dir"] / f"trace.{rank}"))
+    bundle = TraceBundle(nprocs=ds["nprocs"], records=records,
+                         metadata=ds["metadata"])
+    return IOModel.from_trace(bundle, app_name="roms", method="records")
+
+
+def characterize_roms_columnar() -> IOModel:
+    ds = roms_dataset()
+    bundle = TraceBundle.load(ds["bin_dir"])
+    return IOModel.from_columns(bundle.columns, ds["metadata"],
+                                ds["nprocs"], app_name="roms")
+
+
 # -- output canonicalization --------------------------------------------------
 
 def summarize_study(study: dict) -> dict:
@@ -179,6 +345,12 @@ def summarize_study(study: dict) -> dict:
             out[f"error[{name}][{row.phase_id}]"] = row.error_rel_pct
             out[f"bw_md[{name}][{row.phase_id}]"] = row.bw_md_mb_s
     return out
+
+
+def summarize_model(model: IOModel) -> dict:
+    """Bit-exact digest of an abstract model (string compare, rtol 0)."""
+    return {"nphases": model.nphases,
+            "model_json": json.dumps(model.to_dict(), sort_keys=True)}
 
 
 def compare(before: dict, after: dict, rtol: float = 1e-9) -> list[str]:
@@ -199,51 +371,89 @@ def compare(before: dict, after: dict, rtol: float = 1e-9) -> list[str]:
 
 
 def timed(fn):
-    t0 = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - t0
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - t0
+    finally:
+        gc.enable()
 
 
 # -- driver -------------------------------------------------------------------
 
+@dataclasses.dataclass
+class Workload:
+    """One before/after comparison."""
+
+    name: str
+    before: Callable[[], object]
+    after: Callable[[], object]
+    summarize: Callable[[object], dict]
+    rtol: float = 1e-9
+    legacy_before: bool = False  # run the before leg in legacy_core()
+    min_speedup: float | None = None  # enforced under --check-baseline
+    repeat: int = 1  # legs run `repeat` times; best time wins (noise)
+
+
 WORKLOADS = [
-    ("full_study_madbench2", study_madbench2, summarize_study, 1e-9),
-    ("full_study_btio", study_btio, summarize_study, 1e-9),
+    Workload("full_study_madbench2", study_madbench2, study_madbench2,
+             summarize_study, legacy_before=True),
+    Workload("full_study_btio", study_btio, study_btio, summarize_study,
+             legacy_before=True),
     # Extrapolation is an analytic closure: bit-identity is not claimed,
     # agreement to 1e-6 relative is (and is asserted here).
-    ("replay_high_rep", None, None, 1e-6),
+    Workload("replay_high_rep", replay_full, replay_extrapolated,
+             lambda bw: {"bw": bw}, rtol=1e-6, legacy_before=True),
+    # Characterization: identical models required (rtol 0 on the JSON).
+    Workload("characterize_synth_large", characterize_synth_records,
+             characterize_synth_columnar, summarize_model, rtol=0.0,
+             min_speedup=5.0, repeat=2),
+    Workload("characterize_synth_fallback", characterize_synth_records,
+             characterize_synth_fallback, summarize_model, rtol=0.0,
+             min_speedup=5.0, repeat=2),
+    Workload("characterize_roms_np32", characterize_roms_records,
+             characterize_roms_columnar, summarize_model, rtol=0.0,
+             repeat=2),
 ]
 
 
 def run_legs() -> dict:
     report: dict = {"workloads": {}, "drift": {}, "cache_stats": {}}
 
-    for name, fn, summarize, rtol in WORKLOADS:
-        if name == "replay_high_rep":
+    # dataset generation is setup, not measured work
+    characterization_dataset()
+    roms_dataset()
+
+    for wl in WORKLOADS:
+        t_before = t_after = float("inf")
+        for _ in range(wl.repeat):
             simcache.clear_all()
-            with legacy_core():
-                bw_before, t_before = timed(replay_full)
+            if wl.legacy_before:
+                with legacy_core():
+                    res_before, t = timed(wl.before)
+            else:
+                res_before, t = timed(wl.before)
+            t_before = min(t_before, t)
             simcache.clear_all()
-            bw_after, t_after = timed(replay_extrapolated)
-            drift = compare({"bw": bw_before}, {"bw": bw_after}, rtol=rtol)
-        else:
-            simcache.clear_all()
-            with legacy_core():
-                res_before, t_before = timed(fn)
-            simcache.clear_all()
-            res_after, t_after = timed(fn)
-            drift = compare(summarize(res_before), summarize(res_after),
-                            rtol=rtol)
-        report["workloads"][name] = {
+            res_after, t = timed(wl.after)
+            t_after = min(t_after, t)
+        drift = compare(wl.summarize(res_before), wl.summarize(res_after),
+                        rtol=wl.rtol)
+        entry = {
             "before_s": round(t_before, 4),
             "after_s": round(t_after, 4),
             "speedup": round(t_before / max(t_after, 1e-9), 2),
         }
-        report["drift"][name] = drift
+        if wl.min_speedup is not None:
+            entry["min_speedup"] = wl.min_speedup
+        report["workloads"][wl.name] = entry
+        report["drift"][wl.name] = drift
         # clear_all() zeroes the counters, so these are per-workload.
-        report["cache_stats"][name] = simcache.stats()
+        report["cache_stats"][wl.name] = simcache.stats()
         status = "OK" if not drift else f"DRIFT({len(drift)})"
-        print(f"{name:24s} before={t_before:8.3f}s after={t_after:8.3f}s "
+        print(f"{wl.name:28s} before={t_before:8.3f}s after={t_after:8.3f}s "
               f"speedup={t_before / max(t_after, 1e-9):6.2f}x  {status}")
 
     before_total = sum(w["before_s"] for w in report["workloads"].values())
@@ -254,7 +464,7 @@ def run_legs() -> dict:
         "speedup": round(before_total / max(after_total, 1e-9), 2),
     }
     report["identical_outputs"] = not any(report["drift"].values())
-    print(f"{'TOTAL':24s} before={before_total:8.3f}s "
+    print(f"{'TOTAL':28s} before={before_total:8.3f}s "
           f"after={after_total:8.3f}s "
           f"speedup={report['total']['speedup']:6.2f}x")
     return report
@@ -265,7 +475,8 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", default="BENCH_perf.json",
                     help="where to write the JSON report")
     ap.add_argument("--check-baseline", action="store_true",
-                    help="fail on >30%% regression vs BENCH_baseline.json")
+                    help="fail on >30%% regression vs BENCH_baseline.json "
+                         "or a missed per-workload minimum speedup")
     args = ap.parse_args(argv)
 
     report = run_legs()
@@ -279,6 +490,14 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     if args.check_baseline:
+        failed = False
+        for name, entry in report["workloads"].items():
+            need = entry.get("min_speedup")
+            if need is not None and entry["speedup"] < need:
+                print(f"perf regression: {name} speedup "
+                      f"{entry['speedup']:.2f}x < required {need:.1f}x",
+                      file=sys.stderr)
+                failed = True
         baseline_path = Path(__file__).parent / "BENCH_baseline.json"
         baseline = json.loads(baseline_path.read_text())
         allowed = baseline["total"]["after_s"] * REGRESSION_TOLERANCE
@@ -288,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         if got > allowed:
             print("perf regression: after_s exceeds 130% of baseline",
                   file=sys.stderr)
+            failed = True
+        if failed:
             return 2
 
     return 0

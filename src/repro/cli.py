@@ -46,6 +46,7 @@ from repro.core.pipeline import (
 from repro.core.signatures import classify_model
 from repro.core.synthesis import replay_model
 from repro.report.tables import configuration_table, phases_table, usage_table
+from repro.tracer.columns import numpy_enabled
 from repro.tracer.hooks import TraceBundle
 
 
@@ -99,16 +100,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
     program, params = _app_for(args.app, args.np)
     model, bundle = characterize_app(program, args.np, params, app_name=args.app)
     out = Path(args.out)
-    bundle.save(out)
+    bundle.save(out, binary=args.binary)
     model.save(out / "model.json")
-    print(f"traced {args.app} on {args.np} procs: {len(bundle.records)} I/O events")
-    print(f"wrote {out}/trace.<rank>, metadata.json, model.json")
+    print(f"traced {args.app} on {args.np} procs: {bundle.nevents} I/O events")
+    if args.binary:
+        layout = "columns.npz" if numpy_enabled() else "columns.trc"
+    else:
+        layout = "trace.<rank>"
+    print(f"wrote {out}/{layout}, metadata.json, model.json")
     return 0
 
 
 def cmd_model(args: argparse.Namespace) -> int:
     bundle = TraceBundle.load(args.traces)
-    model = IOModel.from_trace(bundle, app_name=args.name)
+    model = IOModel.from_trace(bundle, app_name=args.name, method=args.method)
     if args.out:
         model.save(args.out)
     print(model.describe())
@@ -228,12 +233,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.add_argument("--metrics", action="store_true",
                    help="collect and print the observability metrics")
+    p.add_argument("--binary", action="store_true",
+                   help="save the trace as one compact columnar file "
+                        "(columns.npz / columns.trc) instead of per-rank "
+                        "Fig. 2 text files")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("model", help="rebuild/print a model from saved traces")
     p.add_argument("--traces", required=True)
     p.add_argument("--name", default="app")
     p.add_argument("--out")
+    p.add_argument("--method", choices=("columnar", "records"),
+                   default="columnar",
+                   help="model-extraction path: vectorized columnar "
+                        "(default) or the per-record reference")
     p.set_defaults(func=cmd_model)
 
     p = sub.add_parser("estimate", help="estimate I/O time on a configuration")

@@ -18,15 +18,17 @@ prescribes.
 from __future__ import annotations
 
 import json
+import time as _time
 from dataclasses import dataclass, field
 from fractions import Fraction
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.tracer.hooks import TraceBundle
 from repro.tracer.metadata import AppMetadata
 
-from .lap import LAPEntry, extract_laps
+from .lap import LAPEntry, extract_laps, extract_laps_columns
 from .offsetfn import OffsetFunction
 from .phases import (
     DEFAULT_TICK_TOL,
@@ -50,13 +52,60 @@ class IOModel:
     # -- construction ---------------------------------------------------------
     @classmethod
     def from_trace(cls, bundle: TraceBundle, app_name: str = "app",
-                   tick_tol: int = DEFAULT_TICK_TOL, gap: int = 1) -> "IOModel":
-        """Characterization: trace -> LAPs -> phases -> model."""
-        entries = extract_laps(bundle.records, gap=gap)
-        groups = file_groups_from_metadata(bundle.metadata)
-        phases = identify_phases(entries, file_groups=groups, tick_tol=tick_tol)
-        return cls(app_name=app_name, np=bundle.nprocs,
-                   metadata=bundle.metadata, phases=phases, tick_tol=tick_tol)
+                   tick_tol: int = DEFAULT_TICK_TOL, gap: int = 1,
+                   method: str = "columnar") -> "IOModel":
+        """Characterization: trace -> LAPs -> phases -> model.
+
+        ``method`` picks the LAP extraction path: ``"columnar"`` (the
+        vectorized default over ``bundle.columns``) or ``"records"``
+        (the per-record reference implementation).  Both produce
+        identical models -- asserted per seed app by
+        ``tests/core/test_columnar_equivalence.py``.
+        """
+        if method == "columnar":
+            return cls.from_columns(
+                bundle.columns, bundle.metadata, bundle.nprocs,
+                app_name=app_name, tick_tol=tick_tol, gap=gap)
+        if method != "records":
+            raise ValueError(f"unknown characterization method {method!r}")
+        with obs.span("characterize.model", cat="pipeline", method=method):
+            t0 = _time.perf_counter()
+            with obs.span("characterize.laps", cat="pipeline"):
+                entries = extract_laps(bundle.records, gap=gap)
+            model = cls._from_entries(entries, bundle.metadata, bundle.nprocs,
+                                      app_name, tick_tol)
+        if obs.ACTIVE:
+            _observe_characterization(method, len(bundle.records),
+                                      len(entries),
+                                      _time.perf_counter() - t0)
+        return model
+
+    @classmethod
+    def from_columns(cls, columns, metadata: AppMetadata, nprocs: int,
+                     app_name: str = "app", tick_tol: int = DEFAULT_TICK_TOL,
+                     gap: int = 1) -> "IOModel":
+        """Characterization over a ``TraceColumns`` (no record objects)."""
+        with obs.span("characterize.model", cat="pipeline",
+                      method="columnar"):
+            t0 = _time.perf_counter()
+            with obs.span("characterize.laps", cat="pipeline"):
+                entries = extract_laps_columns(columns, gap=gap)
+            model = cls._from_entries(entries, metadata, nprocs, app_name,
+                                      tick_tol)
+        if obs.ACTIVE:
+            _observe_characterization("columnar", len(columns), len(entries),
+                                      _time.perf_counter() - t0)
+        return model
+
+    @classmethod
+    def _from_entries(cls, entries: list[LAPEntry], metadata: AppMetadata,
+                      nprocs: int, app_name: str, tick_tol: int) -> "IOModel":
+        groups = file_groups_from_metadata(metadata)
+        with obs.span("characterize.phases", cat="pipeline"):
+            phases = identify_phases(entries, file_groups=groups,
+                                     tick_tol=tick_tol)
+        return cls(app_name=app_name, np=nprocs, metadata=metadata,
+                   phases=phases, tick_tol=tick_tol)
 
     # -- aggregate views ---------------------------------------------------------
     @property
@@ -137,6 +186,14 @@ class IOModel:
                 f"rs={rs} weight={ph.weight / 2**20:.0f}MB initOffset={fn}"
             )
         return "\n".join(lines)
+
+
+def _observe_characterization(method: str, nrows: int, nentries: int,
+                              elapsed: float) -> None:
+    obs.inc("characterize_rows_total", nrows, method=method)
+    obs.inc("characterize_lap_entries_total", nentries, method=method)
+    obs.set_gauge("characterize_rows_per_s",
+                  nrows / elapsed if elapsed > 0 else 0.0, method=method)
 
 
 def models_equivalent(a: "IOModel", b: "IOModel") -> bool:

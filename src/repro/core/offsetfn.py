@@ -19,6 +19,13 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping, Sequence
 
+try:  # optional fast path for fit_offsets_arrays
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+from repro.tracer.columns import numpy_enabled
+
 
 @dataclass(frozen=True)
 class OffsetFunction:
@@ -88,9 +95,50 @@ def fit_offsets(pairs: Mapping[int, int] | Sequence[tuple[int, int]]) -> OffsetF
     (r0, o0), (r1, o1) = items[0], items[1]
     if r1 == r0:
         return OffsetFunction(slope=None, intercept=None, table=tuple(items))
-    slope = Fraction(o1 - o0, r1 - r0)
-    intercept = Fraction(o0) - slope * r0
+    # exactness by integer cross-multiplication -- no Fraction arithmetic
+    # in the loop: (r, o) is on the line through (r0, o0), (r1, o1) iff
+    # (o - o0) * (r1 - r0) == (o1 - o0) * (r - r0)
+    dr, do = r1 - r0, o1 - o0
     for r, o in items:
-        if slope * r + intercept != o:
+        if (o - o0) * dr != do * (r - r0):
             return OffsetFunction(slope=None, intercept=None, table=tuple(items))
+    slope = Fraction(do, dr)
+    intercept = Fraction(o0) - slope * r0
     return OffsetFunction(slope=slope, intercept=intercept, table=tuple(items))
+
+
+def fit_offsets_arrays(ranks: Sequence[int],
+                       offsets: Sequence[int]) -> OffsetFunction:
+    """:func:`fit_offsets` over parallel rank/offset arrays.
+
+    Vectorizes the exactness check with numpy when the products stay
+    comfortably inside int64 (trace offsets are file offsets, so an
+    overflow means petabyte-scale files times thousands of ranks --
+    checked anyway, with a fallback to exact Python integers).
+    """
+    n = len(ranks)
+    if n > 2 and numpy_enabled():
+        try:
+            r = np.asarray(ranks, dtype=np.int64)
+            o = np.asarray(offsets, dtype=np.int64)
+        except OverflowError:
+            return fit_offsets(list(zip(ranks, offsets)))
+        order = np.lexsort((o, r))
+        r = r[order]
+        o = o[order]
+        r0, o0 = int(r[0]), int(o[0])
+        r1, o1 = int(r[1]), int(o[1])
+        if r1 != r0:
+            dr, do = r1 - r0, o1 - o0
+            max_o = int(np.abs(o - o0).max())
+            max_r = int(np.abs(r - r0).max())
+            if (max(max_o * abs(dr), abs(do) * max_r) < 2 ** 62
+                    and bool(((o - o0) * dr == do * (r - r0)).all())):
+                slope = Fraction(do, dr)
+                intercept = Fraction(o0) - slope * r0
+                return OffsetFunction(slope=slope, intercept=intercept,
+                                      table=tuple(zip(r.tolist(), o.tolist())))
+        # duplicate first rank, possible overflow, or non-linear: the
+        # exact Python path settles it
+        return fit_offsets(list(zip(r.tolist(), o.tolist())))
+    return fit_offsets(list(zip(ranks, offsets)))

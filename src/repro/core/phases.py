@@ -24,7 +24,7 @@ from statistics import median
 from typing import Mapping, Sequence
 
 from .lap import LAPEntry, LAPOp
-from .offsetfn import OffsetFunction, fit_offsets
+from .offsetfn import OffsetFunction, fit_offsets, fit_offsets_arrays
 
 #: Default tick tolerance when matching LAPs across ranks.  Ranks of an
 #: SPMD program drift by a few events (Fig. 2: ticks 148 vs 147).
@@ -147,23 +147,42 @@ def identify_phases(
     clusters: list[tuple[tuple, list[LAPEntry]]] = []
     for sig, bucket in buckets.items():
         bucket = sorted(bucket, key=lambda e: (e.first_tick, e.rank))
-        used = [False] * len(bucket)
-        for i, seed in enumerate(bucket):
-            if used[i]:
-                continue
-            members = [seed]
+        n = len(bucket)
+        used = [False] * n
+        # The bucket is tick-sorted, so nothing beyond the seed's tick
+        # window can ever be absorbed: the scan stops at the window edge
+        # and skips used entries through path-compressed next pointers
+        # (identical clusters, but O(window) per seed instead of O(n)
+        # re-scans over consumed/duplicate-rank entries).
+        nxt = list(range(1, n + 1))
+
+        def next_unused(j: int) -> int:
+            root = j
+            while root < n and used[root]:
+                root = nxt[root]
+            while j < n and used[j]:
+                nxt[j], j = root, nxt[j]
+            return root
+
+        i = next_unused(0)
+        while i < n:
+            seed = bucket[i]
             used[i] = True
+            members = [seed]
             seen_ranks = {seed.rank}
-            for j in range(i + 1, len(bucket)):
+            limit = seed.first_tick + tick_tol
+            j = next_unused(i + 1)
+            while j < n:
                 cand = bucket[j]
-                if used[j] or cand.rank in seen_ranks:
-                    continue
-                if cand.first_tick - seed.first_tick > tick_tol:
+                if cand.first_tick > limit:
                     break
-                members.append(cand)
-                used[j] = True
-                seen_ranks.add(cand.rank)
+                if cand.rank not in seen_ranks:
+                    members.append(cand)
+                    used[j] = True
+                    seen_ranks.add(cand.rank)
+                j = next_unused(j + 1)
             clusters.append((sig, members))
+            i = next_unused(i + 1)
 
     clusters.sort(key=lambda c: (min(m.first_time for m in c[1]),
                                  median(m.first_tick for m in c[1])))
@@ -178,18 +197,19 @@ def _make_phase(phase_id: int, sig: tuple, members: list[LAPEntry],
     members = sorted(members, key=lambda e: e.rank)
     group, unique = groupinfo(members[0].file_id)
     nops = len(members[0].ops)
+    ranks = [e.rank for e in members]
     phase_ops = []
     for j in range(nops):
-        view_pairs = {e.rank: e.ops[j].init_offset for e in members}
-        abs_pairs = {e.rank: e.ops[j].init_abs_offset for e in members}
+        view_offs = [e.ops[j].init_offset for e in members]
+        abs_offs = [e.ops[j].init_abs_offset for e in members]
         proto: LAPOp = members[0].ops[j]
         phase_ops.append(PhaseOp(
             op=proto.op,
             kind=proto.kind,
             request_size=proto.request_size,
             disp=proto.disp,
-            offset_fn=fit_offsets(view_pairs),
-            abs_offset_fn=fit_offsets(abs_pairs),
+            offset_fn=fit_offsets_arrays(ranks, view_offs),
+            abs_offset_fn=fit_offsets_arrays(ranks, abs_offs),
         ))
     return Phase(
         phase_id=phase_id,

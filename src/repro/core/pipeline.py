@@ -41,20 +41,34 @@ MB = 1024 * 1024
 
 def characterize_app(program: Callable, nprocs: int, *args,
                      app_name: str = "app", tick_tol: int = 16,
-                     platform=None) -> tuple[IOModel, TraceBundle]:
+                     platform=None,
+                     method: str = "columnar") -> tuple[IOModel, TraceBundle]:
     """Stage 1: trace the application off-line and extract its I/O model.
 
     The platform defaults to :class:`IdealPlatform` -- the model must not
     depend on any particular I/O subsystem (its phases, weights and
     offset functions are identical whatever platform is used; only the
     measured durations differ).
+
+    ``method`` selects the model-extraction path: ``"columnar"`` (the
+    vectorized default) or ``"records"`` (the per-record reference
+    implementation; identical models, kept for cross-checking).
     """
     with obs.span("pipeline.characterize", cat="pipeline", app=app_name,
                   np=nprocs) as sp:
         bundle = trace_run(program, nprocs, platform or IdealPlatform(), *args)
-        model = IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol)
-        sp.annotate(nphases=model.nphases, events=len(bundle.records))
+        model = build_model(bundle, app_name=app_name, tick_tol=tick_tol,
+                            method=method)
+        sp.annotate(nphases=model.nphases, events=bundle.nevents)
     return model, bundle
+
+
+def build_model(bundle: TraceBundle, app_name: str = "app",
+                tick_tol: int = 16, gap: int = 1,
+                method: str = "columnar") -> IOModel:
+    """Extract the I/O abstract model from an existing trace bundle."""
+    return IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol,
+                              gap=gap, method=method)
 
 
 def estimate_on(model: IOModel, cluster_factory: ClusterFactory,

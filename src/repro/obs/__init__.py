@@ -125,6 +125,13 @@ def _preregister(reg: MetricsRegistry) -> None:
                 "Simulation memo-cache hits (repro.core.cache)", ("cache",))
     reg.counter("cache_misses_total",
                 "Simulation memo-cache misses (repro.core.cache)", ("cache",))
+    reg.counter("characterize_rows_total",
+                "Trace rows consumed by model extraction", ("method",))
+    reg.counter("characterize_lap_entries_total",
+                "LAP entries produced by model extraction", ("method",))
+    reg.gauge("characterize_rows_per_s",
+              "Trace rows/s through the most recent model extraction",
+              ("method",))
 
 
 # -- structured helpers (no-ops when disabled) ---------------------------------

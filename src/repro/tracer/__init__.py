@@ -3,9 +3,18 @@
 Produces per-process trace files in the paper's Fig. 2 format and the
 application metadata (pointer kinds, collective usage, access mode and
 type, etype size) that the I/O abstract model's *metadata* component
-reports.
+reports.  Traces are held columnar (:class:`TraceColumns`) and can be
+persisted either as the Fig. 2 text files or as one compact binary
+column file per run.
 """
 
+from .columns import (
+    ABS_OFFSET_UNKNOWN,
+    TraceColumns,
+    default_backend,
+    numpy_enabled,
+    read_trace_columns,
+)
 from .hooks import TraceBundle, Tracer, trace_run
 from .metadata import AppMetadata, FileMetadataSummary, summarize_file
 from .tracefile import (
@@ -17,13 +26,18 @@ from .tracefile import (
 )
 
 __all__ = [
+    "ABS_OFFSET_UNKNOWN",
     "AppMetadata",
     "FileMetadataSummary",
     "HEADER",
     "TraceBundle",
+    "TraceColumns",
     "TraceRecord",
     "Tracer",
+    "default_backend",
     "iter_by_rank",
+    "numpy_enabled",
+    "read_trace_columns",
     "read_trace_file",
     "summarize_file",
     "trace_run",

@@ -1,0 +1,474 @@
+"""Columnar trace representation -- the characterization fast path.
+
+A :class:`TraceColumns` holds one trace as parallel arrays (one per
+Fig. 2 column) instead of one :class:`~repro.tracer.tracefile.TraceRecord`
+dataclass per row.  This is the same storage idea that gives tracing
+tools like Recorder and Darshan their scalability: at millions of I/O
+events, per-event Python objects dominate both memory and CPU, while
+columns parse in bulk, sort with one ``lexsort`` and feed the
+vectorized LAP/phase kernels of :mod:`repro.core.lap`.
+
+Two interchangeable backends:
+
+* ``"numpy"`` -- int64/float64 ``ndarray`` columns (the default when
+  numpy is importable and ``REPRO_NO_NUMPY`` is not set);
+* ``"python"`` -- plain lists of ints/floats, so numpy stays an
+  *optional* dependency.  Every operation, including the packed binary
+  format, works identically on both.
+
+On-disk formats:
+
+* the Fig. 2 **text** format (via :func:`read_trace_columns`, sharing
+  the strict header/error handling of ``read_trace_file``);
+* a **packed-struct binary** format (``.trc``: magic + JSON header +
+  little-endian int64/float64 column blobs), readable and writable by
+  both backends;
+* a **compressed npz** format (``.npz``, numpy only) for the smallest
+  on-disk footprint.
+
+Round-trip parity between the three is asserted by
+``tests/tracer/test_columns.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from array import array
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .tracefile import ABS_OFFSET_UNKNOWN, HEADER, TraceRecord
+
+try:  # numpy is optional: every code path below has a pure-Python twin
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+#: Column names in serialization order (ints first, then floats).
+INT_COLUMNS = ("rank", "file_id", "op_code", "offset", "tick",
+               "request_size", "abs_offset")
+FLOAT_COLUMNS = ("time", "duration")
+ALL_COLUMNS = INT_COLUMNS + FLOAT_COLUMNS
+
+#: Packed binary format magic (version 1).
+MAGIC = b"REPROTRC1\n"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def numpy_enabled() -> bool:
+    """numpy importable and not disabled via ``REPRO_NO_NUMPY``."""
+    return np is not None and \
+        os.environ.get("REPRO_NO_NUMPY", "").lower() not in _TRUTHY
+
+
+def default_backend() -> str:
+    """The column backend new TraceColumns use: "numpy" or "python"."""
+    return "numpy" if numpy_enabled() else "python"
+
+
+def _as_int_column(values, backend: str):
+    if backend == "numpy":
+        return np.asarray(values, dtype=np.int64)
+    return list(values)
+
+
+def _as_float_column(values, backend: str):
+    if backend == "numpy":
+        return np.asarray(values, dtype=np.float64)
+    return list(values)
+
+
+class TraceColumns:
+    """One trace as parallel columns plus an interned op-name table."""
+
+    __slots__ = ALL_COLUMNS + ("op_table", "backend")
+
+    def __init__(self, *, rank, file_id, op_code, offset, tick,
+                 request_size, time, duration, abs_offset,
+                 op_table: Sequence[str], backend: str | None = None):
+        backend = backend or default_backend()
+        if backend not in ("numpy", "python"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "numpy" and np is None:
+            raise RuntimeError("numpy backend requested but numpy is not "
+                               "importable")
+        self.backend = backend
+        self.op_table = list(op_table)
+        self.rank = _as_int_column(rank, backend)
+        self.file_id = _as_int_column(file_id, backend)
+        self.op_code = _as_int_column(op_code, backend)
+        self.offset = _as_int_column(offset, backend)
+        self.tick = _as_int_column(tick, backend)
+        self.request_size = _as_int_column(request_size, backend)
+        self.abs_offset = _as_int_column(abs_offset, backend)
+        self.time = _as_float_column(time, backend)
+        self.duration = _as_float_column(duration, backend)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def _empty_lists(cls) -> dict[str, list]:
+        return {name: [] for name in ALL_COLUMNS}
+
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord],
+                     backend: str | None = None) -> "TraceColumns":
+        """Build columns from TraceRecord rows (order preserved)."""
+        cols = cls._empty_lists()
+        op_table: list[str] = []
+        op_index: dict[str, int] = {}
+        append = [cols[name].append for name in
+                  ("rank", "file_id", "op_code", "offset", "tick",
+                   "request_size", "time", "duration", "abs_offset")]
+        a_rank, a_fid, a_op, a_off, a_tick, a_rs, a_t, a_d, a_abs = append
+        for r in records:
+            code = op_index.get(r.op)
+            if code is None:
+                code = op_index[r.op] = len(op_table)
+                op_table.append(r.op)
+            a_rank(r.rank); a_fid(r.file_id); a_op(code)
+            a_off(r.offset); a_tick(r.tick); a_rs(r.request_size)
+            a_t(r.time); a_d(r.duration); a_abs(r.abs_offset)
+        return cls(op_table=op_table, backend=backend, **cols)
+
+    @classmethod
+    def from_events(cls, events: Iterable,
+                    backend: str | None = None) -> "TraceColumns":
+        """Build columns straight from engine ``IOEvent`` objects."""
+        cols = cls._empty_lists()
+        op_table: list[str] = []
+        op_index: dict[str, int] = {}
+        for e in events:
+            code = op_index.get(e.op)
+            if code is None:
+                code = op_index[e.op] = len(op_table)
+                op_table.append(e.op)
+            cols["rank"].append(e.rank)
+            cols["file_id"].append(e.file_id)
+            cols["op_code"].append(code)
+            cols["offset"].append(e.offset)
+            cols["tick"].append(e.tick)
+            cols["request_size"].append(e.request_size)
+            cols["time"].append(e.time)
+            cols["duration"].append(e.duration)
+            cols["abs_offset"].append(e.abs_offset)
+        return cls(op_table=op_table, backend=backend, **cols)
+
+    # -- basic views ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rank)
+
+    def column_lists(self) -> dict[str, list]:
+        """Every column as a plain Python list (cheap on both backends)."""
+        out = {}
+        for name in ALL_COLUMNS:
+            col = getattr(self, name)
+            out[name] = col.tolist() if self.backend == "numpy" else list(col)
+        return out
+
+    def kind_table(self) -> list[str]:
+        """op_code -> "write"/"read", mirroring ``TraceRecord.kind``."""
+        return ["write" if "write" in op else "read" for op in self.op_table]
+
+    def op_at(self, i: int) -> str:
+        return self.op_table[int(self.op_code[i])]
+
+    def record(self, i: int) -> TraceRecord:
+        """Materialize one row as a TraceRecord (on demand only)."""
+        return TraceRecord(
+            rank=int(self.rank[i]), file_id=int(self.file_id[i]),
+            op=self.op_at(i), offset=int(self.offset[i]),
+            tick=int(self.tick[i]), request_size=int(self.request_size[i]),
+            time=float(self.time[i]), duration=float(self.duration[i]),
+            abs_offset=int(self.abs_offset[i]))
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        cols = self.column_lists()
+        table = self.op_table
+        for rank, fid, code, off, tick, rs, t, d, aoff in zip(
+                cols["rank"], cols["file_id"], cols["op_code"],
+                cols["offset"], cols["tick"], cols["request_size"],
+                cols["time"], cols["duration"], cols["abs_offset"]):
+            yield TraceRecord(rank=rank, file_id=fid, op=table[code],
+                              offset=off, tick=tick, request_size=rs,
+                              time=t, duration=d, abs_offset=aoff)
+
+    def to_records(self) -> list[TraceRecord]:
+        return list(self.iter_records())
+
+    @property
+    def total_bytes(self) -> int:
+        if self.backend == "numpy":
+            return int(self.request_size.sum())
+        return sum(self.request_size)
+
+    @property
+    def nfiles(self) -> int:
+        if self.backend == "numpy":
+            return len(np.unique(self.file_id)) if len(self) else 0
+        return len(set(self.file_id))
+
+    # -- reordering -----------------------------------------------------------
+    def take(self, indices) -> "TraceColumns":
+        """New TraceColumns holding rows ``indices`` in that order."""
+        kwargs = {}
+        if self.backend == "numpy":
+            idx = np.asarray(indices)
+            for name in ALL_COLUMNS:
+                kwargs[name] = getattr(self, name)[idx]
+        else:
+            indices = list(indices)
+            for name in ALL_COLUMNS:
+                col = getattr(self, name)
+                kwargs[name] = [col[i] for i in indices]
+        return TraceColumns(op_table=self.op_table, backend=self.backend,
+                            **kwargs)
+
+    def sorted_canonical(self) -> "TraceColumns":
+        """Stable sort by (rank, time, tick) -- the Tracer bundle order."""
+        n = len(self)
+        if n <= 1:
+            return self
+        if self.backend == "numpy":
+            order = np.lexsort((self.tick, self.time, self.rank))
+            return self.take(order)
+        order = sorted(range(n), key=lambda i: (self.rank[i], self.time[i],
+                                                self.tick[i]))
+        return self.take(order)
+
+    @classmethod
+    def concat(cls, parts: Sequence["TraceColumns"],
+               backend: str | None = None) -> "TraceColumns":
+        """Concatenate traces (per-rank files -> one bundle), remapping
+        each part's op codes onto a merged op table."""
+        backend = backend or (parts[0].backend if parts else default_backend())
+        op_table: list[str] = []
+        op_index: dict[str, int] = {}
+        cols = cls._empty_lists()
+        for part in parts:
+            remap = []
+            for op in part.op_table:
+                code = op_index.get(op)
+                if code is None:
+                    code = op_index[op] = len(op_table)
+                    op_table.append(op)
+                remap.append(code)
+            lists = part.column_lists()
+            lists["op_code"] = [remap[c] for c in lists["op_code"]]
+            for name in ALL_COLUMNS:
+                cols[name].extend(lists[name])
+        return cls(op_table=op_table, backend=backend, **cols)
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the binary trace: ``.npz`` (numpy) or packed ``.trc``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix == ".npz":
+            if np is None:
+                raise RuntimeError(".npz requires numpy; use the packed "
+                                   "'.trc' format instead")
+            np.savez_compressed(
+                path, op_table=np.array(self.op_table, dtype=str),
+                **{name: np.asarray(getattr(self, name)) for name in ALL_COLUMNS})
+            return path
+        with path.open("wb") as f:
+            f.write(MAGIC)
+            header = {"version": 1, "n": len(self), "op_table": self.op_table,
+                      "columns": list(ALL_COLUMNS)}
+            f.write(json.dumps(header).encode("utf-8") + b"\n")
+            for name in INT_COLUMNS:
+                f.write(_int_blob(getattr(self, name), self.backend))
+            for name in FLOAT_COLUMNS:
+                f.write(_float_blob(getattr(self, name), self.backend))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path,
+             backend: str | None = None) -> "TraceColumns":
+        """Read a binary trace written by :meth:`save` (either format)."""
+        path = Path(path)
+        backend = backend or default_backend()
+        if path.suffix == ".npz":
+            if np is None:
+                raise RuntimeError(f"{path} is an .npz trace but numpy is "
+                                   "not importable")
+            with np.load(path) as data:
+                op_table = [str(x) for x in data["op_table"]]
+                kwargs = {name: data[name] for name in ALL_COLUMNS}
+            if backend == "python":
+                kwargs = {k: v.tolist() for k, v in kwargs.items()}
+            return cls(op_table=op_table, backend=backend, **kwargs)
+        with path.open("rb") as f:
+            magic = f.read(len(MAGIC))
+            if magic != MAGIC:
+                raise ValueError(f"{path}: not a packed trace file "
+                                 f"(bad magic {magic!r})")
+            header = json.loads(f.readline().decode("utf-8"))
+            n = header["n"]
+            kwargs = {}
+            for name in INT_COLUMNS:
+                kwargs[name] = _read_int_blob(f, n, backend)
+            for name in FLOAT_COLUMNS:
+                kwargs[name] = _read_float_blob(f, n, backend)
+        return cls(op_table=header["op_table"], backend=backend, **kwargs)
+
+
+def _int_blob(col, backend: str) -> bytes:
+    if backend == "numpy":
+        return np.asarray(col, dtype=np.int64).astype("<i8", copy=False).tobytes()
+    a = array("q", col)
+    if sys.byteorder == "big":  # pragma: no cover
+        a.byteswap()
+    return a.tobytes()
+
+
+def _float_blob(col, backend: str) -> bytes:
+    if backend == "numpy":
+        return np.asarray(col, dtype=np.float64).astype("<f8", copy=False).tobytes()
+    a = array("d", col)
+    if sys.byteorder == "big":  # pragma: no cover
+        a.byteswap()
+    return a.tobytes()
+
+
+def _read_blob(f, n: int, typecode: str, dtype: str, backend: str):
+    blob = f.read(8 * n)
+    if len(blob) != 8 * n:
+        raise ValueError("truncated packed trace file")
+    if backend == "numpy":
+        return np.frombuffer(blob, dtype=dtype).copy()
+    a = array(typecode)
+    a.frombytes(blob)
+    if sys.byteorder == "big":  # pragma: no cover
+        a.byteswap()
+    return list(a)
+
+
+def _read_int_blob(f, n: int, backend: str):
+    return _read_blob(f, n, "q", "<i8", backend)
+
+
+def _read_float_blob(f, n: int, backend: str):
+    return _read_blob(f, n, "d", "<f8", backend)
+
+
+# -- text-format parsing ------------------------------------------------------
+
+def read_trace_columns(path: str | Path, *,
+                       etype_size: int | Mapping[int, int] | None = None,
+                       backend: str | None = None,
+                       chunk_lines: int = 1 << 16) -> TraceColumns:
+    """Chunked/streaming parse of a Fig. 2 text trace into columns.
+
+    Memory is O(chunk) beyond the output columns themselves: no
+    per-row dataclass is ever built.  Parsing and error handling match
+    :func:`repro.tracer.tracefile.read_trace_file`: the header is
+    skipped only when line 1 equals ``HEADER`` exactly, malformed rows
+    raise ``ValueError`` with ``path:lineno``, and legacy 8-field rows
+    resolve ``AbsOffset`` through ``etype_size`` (scalar or
+    ``{file_id: etype}`` map) or the ``ABS_OFFSET_UNKNOWN`` sentinel.
+    """
+    path = Path(path)
+    backend = backend or default_backend()
+    cols = TraceColumns._empty_lists()
+    op_table: list[str] = []
+    op_index: dict[str, int] = {}
+    pending: list[tuple[int, str]] = []
+    with path.open() as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if lineno == 1 and line == HEADER:
+                continue
+            pending.append((lineno, line))
+            if len(pending) >= chunk_lines:
+                _parse_chunk(pending, path, cols, op_table, op_index,
+                             etype_size, backend)
+                pending.clear()
+    if pending:
+        _parse_chunk(pending, path, cols, op_table, op_index, etype_size,
+                     backend)
+    # columns accumulate as plain lists; one bulk conversion at the end
+    return TraceColumns(op_table=op_table, backend=backend, **cols)
+
+
+def _parse_chunk(pending, path, cols, op_table, op_index, etype_size,
+                 backend) -> None:
+    rows = [line.split() for _, line in pending]
+    if backend == "numpy" and all(len(r) == 9 for r in rows):
+        try:
+            _parse_chunk_numpy(rows, cols, op_table, op_index)
+            return
+        except ValueError:
+            pass  # re-parse row by row for a precise error location
+    _parse_chunk_rows(pending, rows, path, cols, op_table, op_index,
+                      etype_size)
+
+
+def _parse_chunk_numpy(rows, cols, op_table, op_index) -> None:
+    (c_rank, c_fid, c_op, c_off, c_tick, c_rs, c_time, c_dur,
+     c_abs) = zip(*rows)
+    # numpy parses the numeric strings in C; only op interning stays Python
+    rank = np.array(c_rank, dtype=np.int64)
+    fid = np.array(c_fid, dtype=np.int64)
+    off = np.array(c_off, dtype=np.int64)
+    tick = np.array(c_tick, dtype=np.int64)
+    rs = np.array(c_rs, dtype=np.int64)
+    abs_off = np.array(c_abs, dtype=np.int64)
+    time = np.array(c_time, dtype=np.float64)
+    dur = np.array(c_dur, dtype=np.float64)
+    codes = []
+    get = op_index.get
+    for op in c_op:
+        code = get(op)
+        if code is None:
+            code = op_index[op] = len(op_table)
+            op_table.append(op)
+        codes.append(code)
+    cols["rank"].extend(rank.tolist())
+    cols["file_id"].extend(fid.tolist())
+    cols["op_code"].extend(codes)
+    cols["offset"].extend(off.tolist())
+    cols["tick"].extend(tick.tolist())
+    cols["request_size"].extend(rs.tolist())
+    cols["time"].extend(time.tolist())
+    cols["duration"].extend(dur.tolist())
+    cols["abs_offset"].extend(abs_off.tolist())
+
+
+def _parse_chunk_rows(pending, rows, path, cols, op_table, op_index,
+                      etype_size) -> None:
+    is_map = isinstance(etype_size, Mapping)
+    for (lineno, line), parts in zip(pending, rows):
+        if len(parts) not in (8, 9):
+            raise ValueError(f"{path}:{lineno}: malformed trace line "
+                             f"({len(parts)} fields): {line!r}")
+        try:
+            fid = int(parts[1])
+            off = int(parts[3])
+            if len(parts) == 9:
+                abs_off = int(parts[8])
+            else:
+                es = etype_size.get(fid) if is_map else etype_size
+                abs_off = off * es if es else ABS_OFFSET_UNKNOWN
+            cols["rank"].append(int(parts[0]))
+            cols["file_id"].append(fid)
+            op = parts[2]
+            code = op_index.get(op)
+            if code is None:
+                code = op_index[op] = len(op_table)
+                op_table.append(op)
+            cols["op_code"].append(code)
+            cols["offset"].append(off)
+            cols["tick"].append(int(parts[4]))
+            cols["request_size"].append(int(parts[5]))
+            cols["time"].append(float(parts[6]))
+            cols["duration"].append(float(parts[7]))
+            cols["abs_offset"].append(abs_off)
+        except ValueError:
+            raise ValueError(f"{path}:{lineno}: malformed trace line: "
+                             f"{line!r}") from None

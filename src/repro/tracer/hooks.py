@@ -14,6 +14,10 @@ Typical use::
     engine.run(app_program)
     trace = tracer.finish(engine)       # TraceBundle
     trace.save(Path("traces/app"))      # one file per process + metadata
+
+A bundle holds its events **columnar** (:class:`TraceColumns`) and
+materializes :class:`TraceRecord` objects only on first access to
+``.records`` -- the characterization fast path never pays for them.
 """
 
 from __future__ import annotations
@@ -25,48 +29,98 @@ from pathlib import Path
 from repro.simmpi.engine import Engine
 from repro.simmpi.fileio import IOEvent
 
+from .columns import TraceColumns, numpy_enabled, read_trace_columns
 from .metadata import AppMetadata
-from .tracefile import TraceRecord, read_trace_file, write_trace_file
+from .tracefile import TraceRecord, write_trace_file
 
 
-@dataclass
 class TraceBundle:
-    """A complete traced run: per-process records + metadata."""
+    """A complete traced run: per-process events + metadata.
 
-    nprocs: int
-    records: list[TraceRecord]
-    metadata: AppMetadata
+    Constructible from either ``records`` (list of TraceRecord) or
+    ``columns`` (TraceColumns); the missing view is derived lazily and
+    cached.  Both views hold the same rows in the same canonical order.
+    """
+
+    def __init__(self, nprocs: int, records: list[TraceRecord] | None = None,
+                 metadata: AppMetadata | None = None,
+                 columns: TraceColumns | None = None):
+        if records is None and columns is None:
+            raise ValueError("TraceBundle needs records or columns")
+        self.nprocs = nprocs
+        self.metadata = metadata
+        self._records = records
+        self._columns = columns
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        if self._records is None:
+            self._records = self._columns.to_records()
+        return self._records
+
+    @property
+    def columns(self) -> TraceColumns:
+        if self._columns is None:
+            self._columns = TraceColumns.from_records(self._records)
+        return self._columns
+
+    @property
+    def nevents(self) -> int:
+        cols = self._columns
+        return len(cols) if cols is not None else len(self._records)
 
     def by_rank(self, rank: int) -> list[TraceRecord]:
         return [r for r in self.records if r.rank == rank]
 
     @property
     def nfiles(self) -> int:
-        return len({r.file_id for r in self.records})
+        if self._columns is not None:
+            return self._columns.nfiles
+        return len({r.file_id for r in self._records})
 
     @property
     def total_bytes(self) -> int:
-        return sum(r.request_size for r in self.records)
+        if self._columns is not None:
+            return self._columns.total_bytes
+        return sum(r.request_size for r in self._records)
 
-    def save(self, directory: str | Path) -> None:
-        """Write ``trace.<rank>`` files plus ``metadata.json``."""
+    def save(self, directory: str | Path, binary: bool = False) -> None:
+        """Write the trace: ``trace.<rank>`` text files (the paper's
+        Fig. 2 layout) or, with ``binary=True``, one compact columnar
+        file (``columns.npz`` under numpy, packed ``columns.trc``
+        otherwise) -- plus ``metadata.json`` either way."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        for rank in range(self.nprocs):
-            write_trace_file(directory / f"trace.{rank}", self.by_rank(rank))
+        if binary:
+            name = "columns.npz" if numpy_enabled() else "columns.trc"
+            self.columns.save(directory / name)
+        else:
+            for rank in range(self.nprocs):
+                write_trace_file(directory / f"trace.{rank}",
+                                 self.by_rank(rank))
         payload = {"nprocs": self.nprocs, "metadata": self.metadata.to_dict()}
         (directory / "metadata.json").write_text(json.dumps(payload, indent=2))
 
     @classmethod
     def load(cls, directory: str | Path) -> "TraceBundle":
+        """Load a saved bundle, auto-detecting binary vs. text layout."""
         directory = Path(directory)
         payload = json.loads((directory / "metadata.json").read_text())
         nprocs = payload["nprocs"]
-        records: list[TraceRecord] = []
-        for rank in range(nprocs):
-            records.extend(read_trace_file(directory / f"trace.{rank}"))
-        return cls(nprocs=nprocs, records=records,
-                   metadata=AppMetadata.from_dict(payload["metadata"]))
+        metadata = AppMetadata.from_dict(payload["metadata"])
+        columns = None
+        for name in ("columns.npz", "columns.trc"):
+            if (directory / name).exists():
+                columns = TraceColumns.load(directory / name)
+                break
+        if columns is None:
+            # legacy 8-field rows resolve AbsOffset via the recorded etypes
+            etypes = {f.file_id: f.etype_size for f in metadata.files}
+            parts = [read_trace_columns(directory / f"trace.{rank}",
+                                        etype_size=etypes)
+                     for rank in range(nprocs)]
+            columns = TraceColumns.concat(parts)
+        return cls(nprocs=nprocs, columns=columns, metadata=metadata)
 
 
 @dataclass
@@ -80,13 +134,12 @@ class Tracer:
 
     def finish(self, engine: Engine) -> TraceBundle:
         """Freeze the trace after ``engine.run`` returned."""
-        records = [TraceRecord.from_event(e) for e in self.events]
         # Per-rank order is execution order; across ranks sort by rank for
         # a canonical bundle (per-file trace files are per rank anyway).
-        records.sort(key=lambda r: (r.rank, r.time, r.tick))
+        columns = TraceColumns.from_events(self.events).sorted_canonical()
         return TraceBundle(
             nprocs=engine.nprocs,
-            records=records,
+            columns=columns,
             metadata=AppMetadata.from_engine(engine),
         )
 

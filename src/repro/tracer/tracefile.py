@@ -16,11 +16,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 from repro.simmpi.fileio import IOEvent
 
 HEADER = "IdP IdF MPI-Operation Offset tick RequestSize time duration AbsOffset"
+
+#: Sentinel for legacy 8-field (paper-format) rows whose absolute byte
+#: offset cannot be derived: the view offset is in *etype units*, so it
+#: must never be reused as a byte offset (that was a silent-corruption
+#: bug for any file with etype_size != 1).
+ABS_OFFSET_UNKNOWN = -1
 
 
 @dataclass(frozen=True)
@@ -57,26 +63,53 @@ class TraceRecord:
                 f"{self.duration:.6f} {self.abs_offset}")
 
     @classmethod
-    def from_line(cls, line: str) -> "TraceRecord":
+    def from_line(cls, line: str,
+                  etype_size: int | Mapping[int, int] | None = None,
+                  ) -> "TraceRecord":
+        """Parse one trace row.
+
+        Legacy 8-field rows (the paper's exact Fig. 2 format) carry no
+        ``AbsOffset`` column.  The view offset is in *etype units*, so
+        the absolute byte offset is ``offset * etype_size`` when the
+        etype size is known (pass an int, or a ``{file_id: etype_size}``
+        mapping from the app metadata) and :data:`ABS_OFFSET_UNKNOWN`
+        otherwise -- never the raw view offset.
+        """
         parts = line.split()
         if len(parts) not in (8, 9):
             raise ValueError(f"malformed trace line ({len(parts)} fields): {line!r}")
-        return cls(
-            rank=int(parts[0]),
-            file_id=int(parts[1]),
-            op=parts[2],
-            offset=int(parts[3]),
-            tick=int(parts[4]),
-            request_size=int(parts[5]),
-            time=float(parts[6]),
-            duration=float(parts[7]),
-            abs_offset=int(parts[8]) if len(parts) == 9 else int(parts[3]),
-        )
+        try:
+            file_id = int(parts[1])
+            offset = int(parts[3])
+            if len(parts) == 9:
+                abs_offset = int(parts[8])
+            else:
+                es = etype_size.get(file_id) \
+                    if isinstance(etype_size, Mapping) else etype_size
+                abs_offset = offset * es if es else ABS_OFFSET_UNKNOWN
+            return cls(
+                rank=int(parts[0]),
+                file_id=file_id,
+                op=parts[2],
+                offset=offset,
+                tick=int(parts[4]),
+                request_size=int(parts[5]),
+                time=float(parts[6]),
+                duration=float(parts[7]),
+                abs_offset=abs_offset,
+            )
+        except ValueError:
+            raise ValueError(f"malformed trace line: {line!r}") from None
 
     @property
     def kind(self) -> str:
         """"write" or "read", derived from the MPI routine name."""
         return "write" if "write" in self.op else "read"
+
+    @property
+    def has_abs_offset(self) -> bool:
+        """False for legacy rows whose byte offset could not be derived."""
+        return self.abs_offset != ABS_OFFSET_UNKNOWN
 
 
 def write_trace_file(path: str | Path, records: Iterable[TraceRecord]) -> None:
@@ -89,15 +122,27 @@ def write_trace_file(path: str | Path, records: Iterable[TraceRecord]) -> None:
             f.write(rec.to_line() + "\n")
 
 
-def read_trace_file(path: str | Path) -> list[TraceRecord]:
-    """Parse a trace file written by :func:`write_trace_file`."""
+def read_trace_file(path: str | Path,
+                    etype_size: int | Mapping[int, int] | None = None,
+                    ) -> list[TraceRecord]:
+    """Parse a trace file written by :func:`write_trace_file`.
+
+    The header is skipped only when line 1 matches :data:`HEADER`
+    exactly; malformed rows raise ``ValueError`` tagged with
+    ``path:lineno``.  ``etype_size`` resolves the absolute offset of
+    legacy 8-field rows (see :meth:`TraceRecord.from_line`).
+    """
+    path = Path(path)
     records = []
-    with Path(path).open() as f:
-        for i, line in enumerate(f):
+    with path.open() as f:
+        for lineno, line in enumerate(f, start=1):
             line = line.strip()
-            if not line or (i == 0 and line.startswith("IdP")):
+            if not line or (lineno == 1 and line == HEADER):
                 continue
-            records.append(TraceRecord.from_line(line))
+            try:
+                records.append(TraceRecord.from_line(line, etype_size))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
     return records
 
 

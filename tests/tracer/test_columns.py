@@ -1,0 +1,184 @@
+"""Columnar trace storage: backends, formats, round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracer.columns import (
+    MAGIC,
+    TraceColumns,
+    numpy_enabled,
+    read_trace_columns,
+)
+from repro.tracer.tracefile import (
+    ABS_OFFSET_UNKNOWN,
+    HEADER,
+    TraceRecord,
+    read_trace_file,
+    write_trace_file,
+)
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+BACKENDS = pytest.mark.parametrize(
+    "backend",
+    [pytest.param("numpy", marks=pytest.mark.skipif(
+        not HAVE_NUMPY, reason="numpy not installed")),
+     "python"])
+
+
+def sample_records(n: int = 12) -> list[TraceRecord]:
+    ops = ["MPI_File_write_at_all", "MPI_File_read_at", "MPI_File_write"]
+    return [
+        TraceRecord(rank=i % 3, file_id=i % 2, op=ops[i % 3],
+                    offset=i * 64, tick=i + 1, request_size=4096 * (1 + i % 4),
+                    time=0.25 * i, duration=0.001 * i,
+                    abs_offset=i * 64 * 8)
+        for i in range(n)
+    ]
+
+
+class TestRoundTrips:
+    @BACKENDS
+    def test_records_round_trip(self, backend):
+        records = sample_records()
+        cols = TraceColumns.from_records(records, backend=backend)
+        assert len(cols) == len(records)
+        assert cols.to_records() == records
+
+    @BACKENDS
+    def test_record_at_index(self, backend):
+        records = sample_records()
+        cols = TraceColumns.from_records(records, backend=backend)
+        assert cols.record(5) == records[5]
+
+    @BACKENDS
+    def test_aggregates_match_record_view(self, backend):
+        records = sample_records()
+        cols = TraceColumns.from_records(records, backend=backend)
+        assert cols.total_bytes == sum(r.request_size for r in records)
+        assert cols.nfiles == len({r.file_id for r in records})
+
+    @BACKENDS
+    def test_text_parse_matches_read_trace_file(self, backend, tmp_path):
+        path = tmp_path / "trace.0"
+        write_trace_file(path, sample_records())
+        cols = read_trace_columns(path, backend=backend)
+        assert cols.to_records() == read_trace_file(path)
+
+    @BACKENDS
+    def test_packed_trc_round_trip(self, backend, tmp_path):
+        cols = TraceColumns.from_records(sample_records(), backend=backend)
+        path = cols.save(tmp_path / "t.trc")
+        assert path.read_bytes().startswith(MAGIC)
+        back = TraceColumns.load(path, backend=backend)
+        assert back.op_table == cols.op_table
+        assert back.column_lists() == cols.column_lists()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_npz_round_trip(self, tmp_path):
+        cols = TraceColumns.from_records(sample_records(), backend="numpy")
+        path = cols.save(tmp_path / "t.npz")
+        back = TraceColumns.load(path)
+        assert back.op_table == cols.op_table
+        assert back.column_lists() == cols.column_lists()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    @pytest.mark.parametrize("suffix", [".trc", ".npz"])
+    @pytest.mark.parametrize("writer,reader", [("numpy", "python"),
+                                               ("python", "numpy")])
+    def test_cross_backend_load(self, tmp_path, suffix, writer, reader):
+        if suffix == ".npz" and writer == "python":
+            pytest.skip(".npz is written through numpy only")
+        cols = TraceColumns.from_records(sample_records(), backend=writer)
+        path = cols.save(tmp_path / f"t{suffix}")
+        back = TraceColumns.load(path, backend=reader)
+        assert back.backend == reader
+        assert back.column_lists() == cols.column_lists()
+
+    @given(st.lists(st.tuples(
+        st.integers(0, 7), st.integers(0, 3),
+        st.sampled_from(["MPI_File_write_at", "MPI_File_read_at_all"]),
+        st.integers(0, 10**9), st.integers(0, 10**6), st.integers(1, 10**8),
+        st.floats(0, 1e6, allow_nan=False), st.floats(0, 10, allow_nan=False),
+    ), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_packed_trc_property(self, tmp_path_factory, rows):
+        records = [TraceRecord(r, f, op, off, tick, rs, t, d, off * 2)
+                   for r, f, op, off, tick, rs, t, d in rows]
+        cols = TraceColumns.from_records(records, backend="python")
+        path = tmp_path_factory.mktemp("trc") / "t.trc"
+        cols.save(path)
+        assert TraceColumns.load(path, backend="python").to_records() == records
+
+
+class TestParsing:
+    def test_header_skipped_only_on_exact_match(self, tmp_path):
+        path = tmp_path / "t"
+        path.write_text("IdP-like 1 MPI_File_read_at 0 1 8 0.0 0.0 0\n")
+        with pytest.raises(ValueError, match=rf"{path}:1: "):
+            read_trace_columns(path)
+
+    @BACKENDS
+    def test_malformed_row_error_names_path_and_line(self, backend, tmp_path):
+        path = tmp_path / "t"
+        lines = [HEADER] + [r.to_line() for r in sample_records(4)]
+        lines.insert(3, "0 1 MPI_File_read_at nonsense 1 8 0.0 0.0 0")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=rf"{path}:4: malformed"):
+            read_trace_columns(path, backend=backend)
+
+    @BACKENDS
+    def test_legacy_rows_resolve_through_etype(self, backend, tmp_path):
+        path = tmp_path / "t"
+        path.write_text(HEADER + "\n"
+                        "0 1 MPI_File_read_at 5 10 100 1.5 0.25\n"
+                        "0 2 MPI_File_read_at 7 11 100 1.6 0.25\n")
+        cols = read_trace_columns(path, etype_size={1: 16}, backend=backend)
+        a, b = cols.to_records()
+        assert a.abs_offset == 5 * 16
+        assert b.abs_offset == ABS_OFFSET_UNKNOWN
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_bytes(b"not a trace at all")
+        with pytest.raises(ValueError, match="bad magic"):
+            TraceColumns.load(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        cols = TraceColumns.from_records(sample_records(), backend="python")
+        path = cols.save(tmp_path / "t.trc")
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(ValueError, match="truncated"):
+            TraceColumns.load(path, backend="python")
+
+
+class TestReordering:
+    @BACKENDS
+    def test_sorted_canonical_matches_record_sort(self, backend):
+        records = sample_records(20)[::-1]
+        cols = TraceColumns.from_records(records, backend=backend)
+        expected = sorted(records, key=lambda r: (r.rank, r.time, r.tick))
+        assert cols.sorted_canonical().to_records() == expected
+
+    @BACKENDS
+    def test_concat_remaps_op_codes(self, backend):
+        a = TraceColumns.from_records(
+            [TraceRecord(0, 0, "MPI_File_write_at", 0, 1, 8, 0.0, 0.0, 0)],
+            backend=backend)
+        b = TraceColumns.from_records(
+            [TraceRecord(1, 0, "MPI_File_read_at", 0, 1, 8, 0.1, 0.0, 0),
+             TraceRecord(1, 0, "MPI_File_write_at", 8, 2, 8, 0.2, 0.0, 8)],
+            backend=backend)
+        both = TraceColumns.concat([a, b])
+        assert [r.op for r in both.to_records()] == \
+            ["MPI_File_write_at", "MPI_File_read_at", "MPI_File_write_at"]
+
+    def test_empty_concat(self):
+        assert len(TraceColumns.concat([])) == 0

@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.tracer.tracefile import (
+    ABS_OFFSET_UNKNOWN,
     HEADER,
     TraceRecord,
     iter_by_rank,
@@ -38,14 +39,38 @@ class TestLineFormat:
         assert back.time == pytest.approx(RECORD.time, abs=1e-6)
         assert back.duration == pytest.approx(RECORD.duration, abs=1e-6)
 
-    def test_legacy_8_column_line(self):
+    def test_legacy_8_column_line_without_etype_is_unknown(self):
+        # the view offset is in etype units -- it must NOT be reused as
+        # an absolute byte offset when no etype size is available
         line = "0 1 MPI_File_read_at 5 10 100 1.5 0.25"
         rec = TraceRecord.from_line(line)
-        assert rec.abs_offset == 5  # falls back to the view offset
+        assert rec.abs_offset == ABS_OFFSET_UNKNOWN
+        assert not rec.has_abs_offset
+
+    def test_legacy_8_column_line_with_etype_scalar(self):
+        line = "0 1 MPI_File_read_at 5 10 100 1.5 0.25"
+        rec = TraceRecord.from_line(line, etype_size=40)
+        assert rec.abs_offset == 5 * 40
+        assert rec.has_abs_offset
+
+    def test_legacy_8_column_line_with_etype_map(self):
+        line = "0 1 MPI_File_read_at 5 10 100 1.5 0.25"
+        rec = TraceRecord.from_line(line, etype_size={1: 8, 2: 40})
+        assert rec.abs_offset == 5 * 8
+        rec = TraceRecord.from_line(line, etype_size={2: 40})
+        assert rec.abs_offset == ABS_OFFSET_UNKNOWN
+
+    def test_9_column_line_ignores_etype(self):
+        rec = TraceRecord.from_line(RECORD.to_line(), etype_size=7)
+        assert rec.abs_offset == RECORD.abs_offset
 
     def test_malformed_rejected(self):
         with pytest.raises(ValueError):
             TraceRecord.from_line("1 2 3")
+
+    def test_non_numeric_field_rejected(self):
+        with pytest.raises(ValueError, match="malformed trace line"):
+            TraceRecord.from_line("0 1 MPI_File_read_at x 10 100 1.5 0.25 0")
 
     def test_kind_derivation(self):
         assert RECORD.kind == "write"
@@ -72,6 +97,26 @@ class TestFileIO:
         path = tmp_path / "t"
         path.write_text(HEADER + "\n\n" + RECORD.to_line() + "\n\n")
         assert len(read_trace_file(path)) == 1
+
+    def test_header_skipped_only_on_exact_match(self, tmp_path):
+        # a first *data* line that merely starts with "IdP" must parse,
+        # not silently disappear as a pseudo-header
+        path = tmp_path / "t"
+        path.write_text("IdP-like 1 MPI_File_read_at 0 1 8 0.0 0.0 0\n")
+        with pytest.raises(ValueError, match=rf"{path}:1: "):
+            read_trace_file(path)
+
+    def test_malformed_row_error_names_path_and_line(self, tmp_path):
+        path = tmp_path / "t"
+        path.write_text(HEADER + "\n" + RECORD.to_line() + "\nbogus row\n")
+        with pytest.raises(ValueError, match=rf"{path}:3: malformed"):
+            read_trace_file(path)
+
+    def test_read_trace_file_etype_resolves_legacy_rows(self, tmp_path):
+        path = tmp_path / "t"
+        path.write_text(HEADER + "\n0 1 MPI_File_read_at 5 10 100 1.5 0.25\n")
+        (rec,) = read_trace_file(path, etype_size={1: 16})
+        assert rec.abs_offset == 80
 
     @given(st.lists(st.tuples(
         st.integers(0, 7), st.integers(0, 3),
