@@ -480,7 +480,8 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     report = run_legs()
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    from repro.ioutil import atomic_write_text
+    atomic_write_text(Path(args.out), json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 
     if not report["identical_outputs"]:

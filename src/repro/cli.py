@@ -7,6 +7,7 @@ Subcommands mirror the methodology's stages::
     repro-io estimate  --model mb2.model.json --config configuration-A
     repro-io usage     --app madbench2 --np 16 --config configuration-A
     repro-io select    --model mb2.model.json --configs configuration-C,finisterrae
+    repro-io degraded  --model mb2.model.json --configs configuration-C,finisterrae
     repro-io replay    --model mb2.model.json --config finisterrae
     repro-io signatures --model mb2.model.json
     repro-io profile   --app madbench2 --np 16 --config configuration-A --out prof/
@@ -112,7 +113,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_model(args: argparse.Namespace) -> int:
-    bundle = TraceBundle.load(args.traces)
+    quarantine = None
+    if args.quarantine:
+        from repro.tracer.quarantine import QuarantineReport
+        quarantine = QuarantineReport()
+    bundle = TraceBundle.load(args.traces, quarantine=quarantine)
+    if quarantine:
+        print(quarantine.summary())
+        print()
+    if bundle.nevents == 0:
+        raise SystemExit(f"no salvageable I/O events in {args.traces}")
     model = IOModel.from_trace(bundle, app_name=args.name, method=args.method)
     if args.out:
         model.save(args.out)
@@ -150,11 +160,42 @@ def cmd_usage(args: argparse.Namespace) -> int:
 def cmd_select(args: argparse.Namespace) -> int:
     model = IOModel.load(args.model)
     factories = {name: _factory_for(name) for name in args.configs.split(",")}
-    choice = select_configuration(model.phases, factories)
+    choice = select_configuration(model.phases, factories,
+                                  checkpoint_dir=args.checkpoint_dir,
+                                  resume=args.resume)
     print(f"estimated total I/O time of {model.app_name} (eq. 1):")
     for name, t in choice.ranking():
         marker = "  <- selected" if name == choice.best else ""
         print(f"  {name}: {t:.2f} s{marker}")
+    return 0
+
+
+def cmd_degraded(args: argparse.Namespace) -> int:
+    """Worst-case selection: rank configurations with disks failed."""
+    from repro.faults import degraded as deg
+
+    model = IOModel.load(args.model)
+    factories = {name: _factory_for(name) for name in args.configs.split(",")}
+    choice = deg.worst_case_selection(model.phases, factories,
+                                      rebuild=args.rebuild)
+    print(f"degraded-mode study of {model.app_name} "
+          f"(one dead disk per I/O node{', rebuild running' if args.rebuild else ''}):")
+    for name, nominal, worst in choice.ranking():
+        report = choice.reports[name]
+        marker = "  <- selected (worst-case)" if name == choice.best else ""
+        if name == choice.best_nominal:
+            marker += "  <- nominal best"
+        worst_s = "DATA LOSS" if worst == float("inf") else f"{worst:.2f} s"
+        print(f"  {name}: nominal {nominal:.2f} s, worst-case {worst_s}{marker}")
+        for outcome in report.outcomes[1:]:
+            if outcome.lost_data:
+                print(f"      {outcome.scenario}: DATA LOSS -- {outcome.detail}")
+            else:
+                print(f"      {outcome.scenario}: {outcome.total_time_ch:.2f} s")
+    if choice.best != choice.best_nominal:
+        print(f"  note: the nominal ranking would have chosen "
+              f"{choice.best_nominal!r}; one disk failure flips the choice "
+              f"to {choice.best!r}")
     return 0
 
 
@@ -247,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="columnar",
                    help="model-extraction path: vectorized columnar "
                         "(default) or the per-record reference")
+    p.add_argument("--quarantine", action="store_true",
+                   help="salvage a partial model from corrupt/truncated "
+                        "traces and print a per-rank report of what was "
+                        "dropped")
     p.set_defaults(func=cmd_model)
 
     p = sub.add_parser("estimate", help="estimate I/O time on a configuration")
@@ -266,7 +311,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", required=True)
     p.add_argument("--configs", required=True,
                    help="comma-separated configuration names")
+    p.add_argument("--checkpoint-dir",
+                   help="persist each configuration's estimate here "
+                        "(atomic write-then-rename)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip configurations already checkpointed in "
+                        "--checkpoint-dir")
     p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser(
+        "degraded",
+        help="worst-case selection with failed disks (degraded RAID/JBOD)")
+    p.add_argument("--model", required=True)
+    p.add_argument("--configs", required=True,
+                   help="comma-separated configuration names")
+    p.add_argument("--rebuild", action="store_true",
+                   help="also run a RAID rebuild on the degraded volumes "
+                        "(rebuild traffic competes with foreground I/O)")
+    p.set_defaults(func=cmd_degraded)
 
     p = sub.add_parser("replay", help="synthesize and measure a model's replay")
     p.add_argument("--model", required=True)

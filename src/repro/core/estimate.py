@@ -242,7 +242,12 @@ def _selection_job(phases: Sequence[Phase], factory: ClusterFactory,
 def select_configuration(phases: Sequence[Phase],
                          factories: dict[str, ClusterFactory],
                          parallel: bool = False,
-                         max_workers: int | None = None) -> ConfigurationChoice:
+                         max_workers: int | None = None,
+                         retry=None,
+                         timeout_s: float | None = None,
+                         raise_on_error: bool = True,
+                         checkpoint_dir=None,
+                         resume: bool = False) -> ConfigurationChoice:
     """Estimate the model on every configuration; pick the fastest.
 
     This is the paper's use case in Table XII: estimate BT-IO on
@@ -251,13 +256,28 @@ def select_configuration(phases: Sequence[Phase],
     ``parallel=True`` sweeps the candidate configurations concurrently
     in worker processes (factories must be picklable; unpicklable
     sweeps fall back to the serial path).
+
+    The resilience knobs mirror :func:`repro.core.sweep.sweep_map`:
+    ``retry`` absorbs transient faults per configuration; ``timeout_s``
+    bounds parallel jobs; ``raise_on_error=False`` records failed
+    configurations as ``inf`` in ``total_times`` (they can never win
+    the selection but the study survives); ``checkpoint_dir`` +
+    ``resume`` make an interrupted selection resumable.
     """
-    from .sweep import sweep_map
+    from .sweep import JobFailure, SweepJobError, sweep_map
 
     totals = sweep_map(
         _selection_job,
         {name: (tuple(phases), factory, name)
          for name, factory in factories.items()},
-        parallel=parallel, max_workers=max_workers)
+        parallel=parallel, max_workers=max_workers,
+        retry=retry, timeout_s=timeout_s, raise_on_error=raise_on_error,
+        checkpoint_dir=checkpoint_dir, resume=resume)
+    totals = {name: (total if not isinstance(total, JobFailure)
+                     else float("inf"))
+              for name, total in totals.items()}
+    if all(t == float("inf") for t in totals.values()):
+        raise SweepJobError("selection",
+                            "every configuration's estimate failed", "")
     best = min(totals, key=totals.get)
     return ConfigurationChoice(best=best, total_times=totals)

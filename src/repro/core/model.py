@@ -100,6 +100,10 @@ class IOModel:
     @classmethod
     def _from_entries(cls, entries: list[LAPEntry], metadata: AppMetadata,
                       nprocs: int, app_name: str, tick_tol: int) -> "IOModel":
+        if metadata is None:
+            # Quarantine-salvaged bundle whose metadata.json was lost:
+            # model without file grouping rather than no model at all.
+            metadata = AppMetadata()
         groups = file_groups_from_metadata(metadata)
         with obs.span("characterize.phases", cat="pipeline"):
             phases = identify_phases(entries, file_groups=groups,
@@ -163,7 +167,8 @@ class IOModel:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json())
+        from repro.ioutil import atomic_write_text
+        atomic_write_text(Path(path), self.to_json())
 
     @classmethod
     def load(cls, path: str | Path) -> "IOModel":

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro import obs
+from repro.faults.resilience import RetryPolicy
 from repro.simmpi.engine import IdealPlatform
 from repro.tracer.hooks import TraceBundle, trace_run
 
@@ -34,7 +35,7 @@ from .estimate import (
     system_usage,
 )
 from .model import IOModel
-from .sweep import sweep_map
+from .sweep import SweepJobError, sweep_map
 
 MB = 1024 * 1024
 
@@ -207,7 +208,12 @@ def full_study(program: Callable, nprocs: int, *args,
                measure_configs: Sequence[str] = (),
                tick_tol: int = 16,
                parallel: bool = False,
-               max_workers: int | None = None) -> dict:
+               max_workers: int | None = None,
+               retry: RetryPolicy | None = None,
+               timeout_s: float | None = None,
+               raise_on_error: bool = True,
+               checkpoint_dir: str | None = None,
+               resume: bool = False) -> dict:
     """The complete methodology for one application.
 
     Characterize once; estimate on every configuration; optionally
@@ -217,27 +223,35 @@ def full_study(program: Callable, nprocs: int, *args,
     ``parallel=True`` estimates the configurations concurrently in
     worker processes (factories must be picklable, i.e. module-level;
     unpicklable sweeps fall back to the serial path).
+
+    Resilience (see :mod:`repro.core.sweep`): ``retry`` re-runs a
+    configuration's estimate on transient faults with bounded backoff;
+    ``timeout_s`` bounds each parallel job; ``raise_on_error=False``
+    keeps going past failed configurations (they appear as
+    :class:`~repro.core.sweep.JobFailure` entries in ``estimates`` and
+    are excluded from the selection); ``checkpoint_dir``/``resume``
+    persist each completed estimate atomically so a killed study can be
+    resumed bit-identically.
     """
     with obs.span("pipeline.full_study", cat="pipeline", app=app_name,
                   np=nprocs) as sp:
         model, bundle = characterize_app(program, nprocs, *args,
                                          app_name=app_name, tick_tol=tick_tol)
-        if parallel:
-            estimates = sweep_map(
-                _estimate_job,
-                {name: (model, factory, name)
-                 for name, factory in cluster_factories.items()},
-                parallel=True, max_workers=max_workers)
-            if obs.ACTIVE:
-                for name, report in estimates.items():
-                    for p in report.phases:
-                        obs.set_gauge("phase_bw_ch_mb_s", p.bw_ch_mb_s,
-                                      config=name, phase=str(p.phase_id))
-        else:
-            estimates = {
-                name: estimate_on(model, factory, config_name=name)
-                for name, factory in cluster_factories.items()
-            }
+        estimates = sweep_map(
+            _estimate_job,
+            {name: (model, factory, name)
+             for name, factory in cluster_factories.items()},
+            parallel=parallel, max_workers=max_workers,
+            retry=retry, timeout_s=timeout_s,
+            raise_on_error=raise_on_error,
+            checkpoint_dir=checkpoint_dir, resume=resume)
+        if obs.ACTIVE:
+            for name, report in estimates.items():
+                if not report:  # JobFailure
+                    continue
+                for p in report.phases:
+                    obs.set_gauge("phase_bw_ch_mb_s", p.bw_ch_mb_s,
+                                  config=name, phase=str(p.phase_id))
         evaluations = {}
         for name in measure_configs:
             factory = cluster_factories[name]
@@ -247,7 +261,12 @@ def full_study(program: Callable, nprocs: int, *args,
             peaks = characterize_peaks_for(factory)
             evaluations[name] = evaluate(measured_model, estimates[name],
                                          measure, peaks=peaks)
-        totals = {name: est.total_time_ch for name, est in estimates.items()}
+        totals = {name: est.total_time_ch
+                  for name, est in estimates.items() if est}
+        if not totals:
+            raise SweepJobError(
+                "selection", "every configuration's estimate failed",
+                "\n".join(f.traceback for f in estimates.values() if not f))
         best = min(totals, key=totals.get)
         sp.annotate(best=best)
     return {

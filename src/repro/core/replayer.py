@@ -124,7 +124,8 @@ def _stationary_delta(ends: list[float]) -> float | None:
 
 def replay_phase(phase: Phase, platform: Platform,
                  min_repetitions: int = 1,
-                 extrapolate_reps: int | None = None) -> ReplayResult:
+                 extrapolate_reps: int | None = None,
+                 retry: "RetryPolicy | None" = None) -> ReplayResult:
     """Re-enact ``phase`` on a (fresh) platform; returns its bandwidths.
 
     ``min_repetitions`` inflates short phases so the measurement reaches
@@ -136,7 +137,29 @@ def replay_phase(phase: Phase, platform: Platform,
     extends the phase span analytically to the full repetition count.
     Phases whose cost has not settled after K repetitions fall back to
     the full simulation.
+
+    ``retry`` (a :class:`~repro.faults.resilience.RetryPolicy`) absorbs
+    transient faults injected by an installed
+    :class:`~repro.faults.FaultPlan` (``mode="error"`` dropouts): the
+    platform's queues are reset and the whole replay re-attempted, up to
+    the policy's bound.  Fail-stop faults and data loss still propagate.
     """
+    if retry is not None:
+        from repro.faults.resilience import retry_call
+
+        def _clean_platform(attempt: int, exc: BaseException) -> None:
+            # A failed attempt leaves resource-queue state behind; the
+            # retry must start from a quiescent platform to stay
+            # deterministic.
+            reset = getattr(platform, "reset", None)
+            if reset is not None:
+                reset()
+
+        return retry_call(replay_phase, phase, platform,
+                          policy=retry, on_retry=_clean_platform,
+                          min_repetitions=min_repetitions,
+                          extrapolate_reps=extrapolate_reps)
+
     full_rep = max(phase.rep, min_repetitions)
     spec = _ReplaySpec(
         ops=phase.ops,

@@ -1,4 +1,4 @@
-"""Concurrent configuration sweeps over worker processes.
+"""Concurrent, fault-tolerant configuration sweeps.
 
 The estimation stage is embarrassingly parallel across configurations:
 each ``estimate_on``/``estimate_model`` call is a pure CPU-bound
@@ -6,12 +6,34 @@ function of (model, cluster factory) with no shared state.  With
 ``parallel=True`` the sweep fans those calls out over a
 :class:`concurrent.futures.ProcessPoolExecutor`.
 
+Resilience features (all opt-in, all composable):
+
+* **error policy** -- a failing job is captured with its id and full
+  traceback.  ``raise_on_error=True`` (the default) raises a
+  :class:`SweepJobError` naming the job; ``raise_on_error=False``
+  stores a :class:`JobFailure` in the result dict instead, so one bad
+  configuration cannot sink a 50-configuration study.  Failures are
+  counted in the ``sweep_job_failures_total`` obs metric either way.
+* **retry** -- a :class:`~repro.faults.resilience.RetryPolicy` re-runs
+  a job on its retryable (transient-fault) exceptions with bounded
+  exponential backoff, serially in-process or inside the worker.
+* **timeout** -- ``timeout_s`` bounds each job's wall-clock time.  It
+  is enforced on the parallel path (the future is cancelled and the
+  job recorded as a timed-out :class:`JobFailure`); the serial path
+  treats it as advisory (a cooperative single process cannot interrupt
+  itself safely).
+* **checkpointing** -- with ``checkpoint_dir`` every completed job's
+  result is pickled to ``<dir>/<job>.ckpt`` via an atomic
+  write-temp-then-rename, and ``resume=True`` loads those instead of
+  recomputing, so a sweep killed mid-flight resumes bit-identically.
+
 Requirements and fallbacks:
 
-* jobs (the function and every argument) must be picklable -- cluster
-  factories defined at module level qualify, test lambdas do not.  A
-  sweep whose jobs cannot be pickled silently degrades to the serial
-  path, so ``parallel=True`` is always safe to pass;
+* parallel jobs (the function and every argument) must be picklable --
+  cluster factories defined at module level qualify, test lambdas do
+  not.  A sweep whose jobs cannot be pickled degrades to the serial
+  path (with checkpoint/retry/error handling intact), so
+  ``parallel=True`` is always safe to pass;
 * memo caches (:mod:`repro.core.cache`) live per process: workers start
   with a (forked) copy and their insertions are not merged back.  The
   parent's caches still serve repeated sweeps;
@@ -22,25 +44,183 @@ Requirements and fallbacks:
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import os
 import pickle
+import re
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Mapping
+
+from repro import obs
+from repro.faults.resilience import RetryPolicy, retry_call
+from repro.ioutil import atomic_write_bytes
+
+#: Chaos hook (used by the CI kill-and-resume smoke test): when set and
+#: a checkpoint directory is active, the process hard-exits with this
+#: code after ``REPRO_CHAOS_KILL_AFTER`` checkpoints have been written.
+CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_AFTER"
+CHAOS_EXIT_CODE = 17
+
+
+@dataclass
+class JobFailure:
+    """A job that did not produce a result (kept in the result dict)."""
+
+    name: str
+    error: str
+    traceback: str = ""
+    timed_out: bool = False
+
+    def __bool__(self) -> bool:  # failures are falsy: filter with `if v`
+        return False
+
+
+class SweepJobError(RuntimeError):
+    """A sweep job failed under ``raise_on_error=True``."""
+
+    def __init__(self, name: str, error: str, tb: str):
+        super().__init__(
+            f"sweep job {name!r} failed: {error}\n"
+            f"--- job traceback ---\n{tb}")
+        self.job = name
+        self.error = error
+        self.job_traceback = tb
+
+
+# -- checkpoint store ----------------------------------------------------------
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def checkpoint_path(directory: str | Path, name: str) -> Path:
+    """Where job ``name``'s result checkpoint lives (stable per name)."""
+    digest = hashlib.sha1(name.encode("utf-8")).hexdigest()[:8]
+    safe = _SAFE.sub("_", name)[:80] or "job"
+    return Path(directory) / f"{safe}.{digest}.ckpt"
+
+
+def _store_checkpoint(directory: Path, name: str, result: Any) -> None:
+    atomic_write_bytes(checkpoint_path(directory, name),
+                       pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _load_checkpoints(directory: Path, jobs: Mapping[str, tuple]) -> dict:
+    done: dict[str, Any] = {}
+    for name in jobs:
+        path = checkpoint_path(directory, name)
+        if path.exists():
+            with path.open("rb") as f:
+                done[name] = pickle.load(f)
+    return done
+
+
+class _ChaosKiller:
+    """Counts checkpoint writes and hard-exits at the configured one."""
+
+    def __init__(self):
+        self.limit = int(os.environ.get(CHAOS_KILL_ENV, "0") or "0")
+        self.written = 0
+
+    def note_checkpoint(self) -> None:
+        self.written += 1
+        if self.limit and self.written >= self.limit:
+            os._exit(CHAOS_EXIT_CODE)
+
+
+# -- job execution -------------------------------------------------------------
+
+def _run_job(fn: Callable, args: tuple, retry: RetryPolicy | None) -> Any:
+    """Worker-side body: one job, optionally under a retry policy."""
+    if retry is None:
+        return fn(*args)
+    return retry_call(fn, *args, policy=retry)
+
+
+def _failure(name: str, exc: BaseException,
+             timed_out: bool = False) -> JobFailure:
+    if obs.ACTIVE:
+        obs.inc("sweep_job_failures_total", job=name)
+    return JobFailure(name=name, error=repr(exc),
+                      traceback=traceback.format_exc(), timed_out=timed_out)
+
+
+def _resolve(name: str, failure: JobFailure | None, result: Any,
+             raise_on_error: bool) -> Any:
+    if failure is None:
+        return result
+    if raise_on_error:
+        raise SweepJobError(name, failure.error, failure.traceback)
+    return failure
 
 
 def sweep_map(fn: Callable, jobs: Mapping[str, tuple], parallel: bool = False,
-              max_workers: int | None = None) -> dict[str, Any]:
+              max_workers: int | None = None, *,
+              raise_on_error: bool = True,
+              retry: RetryPolicy | None = None,
+              timeout_s: float | None = None,
+              checkpoint_dir: str | Path | None = None,
+              resume: bool = False) -> dict[str, Any]:
     """Apply ``fn(*args)`` to every ``{name: args}`` job; dict of results.
 
     Results preserve the jobs' insertion order.  ``parallel=False`` (or
-    a single job, or unpicklable jobs) runs serially in-process.
+    a single job, or unpicklable jobs) runs serially in-process.  See
+    the module docstring for the resilience knobs; with
+    ``raise_on_error=False`` failed jobs appear as (falsy)
+    :class:`JobFailure` values in the returned dict.
     """
-    if not parallel or len(jobs) <= 1:
-        return {name: fn(*args) for name, args in jobs.items()}
-    try:
-        pickle.dumps((fn, tuple(jobs.values())))
-    except Exception:
-        return {name: fn(*args) for name, args in jobs.items()}
-    workers = max_workers or min(len(jobs), os.cpu_count() or 1)
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {name: pool.submit(fn, *args) for name, args in jobs.items()}
-        return {name: fut.result() for name, fut in futures.items()}
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True needs a checkpoint_dir")
+    ckpt = Path(checkpoint_dir) if checkpoint_dir is not None else None
+    done: dict[str, Any] = {}
+    if ckpt is not None:
+        ckpt.mkdir(parents=True, exist_ok=True)
+        if resume:
+            done = _load_checkpoints(ckpt, jobs)
+            if obs.ACTIVE and done:
+                obs.inc("sweep_jobs_resumed_total", amount=len(done))
+    todo = {name: args for name, args in jobs.items() if name not in done}
+    chaos = _ChaosKiller() if ckpt is not None else None
+
+    use_parallel = parallel and len(todo) > 1
+    if use_parallel:
+        try:
+            pickle.dumps((fn, tuple(todo.values()), retry))
+        except Exception:
+            use_parallel = False
+
+    fresh: dict[str, Any] = {}
+    if not use_parallel:
+        for name, args in todo.items():
+            failure, result = None, None
+            try:
+                result = _run_job(fn, args, retry)
+            except Exception as exc:
+                failure = _failure(name, exc)
+            if failure is None and ckpt is not None:
+                _store_checkpoint(ckpt, name, result)
+                chaos.note_checkpoint()
+            fresh[name] = _resolve(name, failure, result, raise_on_error)
+    else:
+        workers = max_workers or min(len(todo), os.cpu_count() or 1)
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {name: pool.submit(_run_job, fn, args, retry)
+                       for name, args in todo.items()}
+            for name, fut in futures.items():
+                failure, result = None, None
+                try:
+                    result = fut.result(timeout=timeout_s)
+                except concurrent.futures.TimeoutError as exc:
+                    fut.cancel()
+                    failure = _failure(name, exc, timed_out=True)
+                except Exception as exc:
+                    failure = _failure(name, exc)
+                if failure is None and ckpt is not None:
+                    _store_checkpoint(ckpt, name, result)
+                    chaos.note_checkpoint()
+                fresh[name] = _resolve(name, failure, result, raise_on_error)
+
+    # Insertion order of `jobs`, resumed results included.
+    return {name: done[name] if name in done else fresh[name]
+            for name in jobs}

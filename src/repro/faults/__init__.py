@@ -1,0 +1,91 @@
+"""repro.faults -- fault injection and graceful degradation.
+
+Three cooperating pieces:
+
+* :mod:`repro.faults.plan` -- deterministic, seedable
+  :class:`~repro.faults.plan.FaultPlan` schedules (fail-stop disk death,
+  fail-slow degradation, I/O-node dropout with reconnect, network
+  brownouts) consulted by injection points inside :mod:`repro.iosim`;
+* :mod:`repro.faults.resilience` -- bounded retry-with-backoff policies
+  the pipeline wraps around transient faults;
+* :mod:`repro.faults.degraded` -- static degraded-mode configuration
+  studies (RAID-1 on the surviving mirror, RAID-5 degraded/rebuilding,
+  JBOD data loss) and worst-case configuration selection.  Imported as
+  a submodule (``from repro.faults import degraded``) because it depends
+  on :mod:`repro.iosim`, which itself imports this package.
+
+Activation mirrors :mod:`repro.obs`: injection sites guard with
+``if faults.ACTIVE`` and the installed plan is process-global::
+
+    plan = FaultPlan.generate(seed=7, disks=["sas0", "sas1"])
+    with faults.injected(plan):
+        result = replay_phase(phase, cluster)
+    print(plan.events)          # deterministic fault event stream
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .plan import (
+    BROWNOUT,
+    DROPOUT,
+    FAIL_SLOW,
+    FAIL_STOP,
+    DataLossError,
+    DiskFailure,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    TransientFault,
+)
+from .resilience import RetryPolicy, retry_call
+
+__all__ = [
+    "ACTIVE", "install", "uninstall", "plan", "injected",
+    "FaultPlan", "FaultSpec", "FaultEvent",
+    "FaultError", "DiskFailure", "DataLossError", "TransientFault",
+    "RetryPolicy", "retry_call",
+    "FAIL_STOP", "FAIL_SLOW", "DROPOUT", "BROWNOUT",
+]
+
+#: Guard-first flag, tested by every injection point before any work.
+ACTIVE: bool = False
+
+_plan: FaultPlan | None = None
+
+
+def install(fault_plan: FaultPlan) -> FaultPlan:
+    """Install ``fault_plan`` as the process-global active plan."""
+    global ACTIVE, _plan
+    _plan = fault_plan
+    ACTIVE = True
+    return fault_plan
+
+
+def uninstall() -> None:
+    """Remove the active plan; injection reverts to zero-cost no-ops."""
+    global ACTIVE, _plan
+    ACTIVE = False
+    _plan = None
+
+
+def plan() -> FaultPlan | None:
+    """The currently installed plan (None when injection is off)."""
+    return _plan
+
+
+@contextmanager
+def injected(fault_plan: FaultPlan):
+    """Scope fault injection to a ``with`` block (restores the previous
+    plan on exit, so chaos tests can nest)."""
+    previous = _plan
+    install(fault_plan)
+    try:
+        yield fault_plan
+    finally:
+        if previous is None:
+            uninstall()
+        else:
+            install(previous)

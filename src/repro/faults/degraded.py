@@ -1,0 +1,209 @@
+"""Degraded-mode what-if studies: estimate Time_io with disks dead.
+
+The paper's selection step (Table XII) ranks configurations by nominal
+estimated I/O time.  A configuration that wins while healthy can be a
+terrible choice operationally: configuration C's single NFS RAID 5
+drops to reconstruct-read bandwidth with one dead SAS disk, while a
+JBOD loses files outright.  This module reruns the estimation with
+member disks failed -- eqs. 1-4 on the *degraded* platform -- and ranks
+configurations by their worst-case Time_io as well as the nominal one.
+
+Import as a submodule (``from repro.faults import degraded``): it
+depends on :mod:`repro.iosim`, which itself consults the base
+:mod:`repro.faults` package, so re-exporting it from the package
+``__init__`` would create an import cycle.
+
+The machinery is deliberately factory-shaped: a
+:class:`DegradedScenario` turns any healthy ``ClusterFactory`` into a
+degraded one (``degrade(factory, scenario)``), so everything that takes
+a factory -- ``estimate_model``, ``peak_bandwidth``,
+``select_configuration``, sweeps -- works on degraded platforms
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.faults.plan import DataLossError
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DegradedScenario:
+    """Which disks are dead, per I/O node, and whether a rebuild runs.
+
+    ``failed`` maps I/O-node index (position in ``globalfs.ions``) to
+    the member-disk indices to fail in that node's volume.
+    ``rebuild=True`` additionally starts a RAID rebuild on each
+    affected parity volume (rebuild traffic competes with foreground
+    I/O and shaves the degraded peak -- see
+    :class:`repro.iosim.raid._ParityVolume`).
+    """
+
+    name: str
+    failed: tuple[tuple[int, tuple[int, ...]], ...]  # ((ion, (disk, ...)), ...)
+    rebuild: bool = False
+
+    @classmethod
+    def make(cls, name: str, failed: dict[int, tuple[int, ...]],
+             rebuild: bool = False) -> "DegradedScenario":
+        frozen = tuple(sorted((ion, tuple(disks))
+                              for ion, disks in failed.items()))
+        return cls(name=name, failed=frozen, rebuild=rebuild)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(len(disks) for _, disks in self.failed)
+
+
+#: The healthy baseline, for symmetric reporting.
+NOMINAL = DegradedScenario(name="nominal", failed=())
+
+
+def degrade(cluster_factory, scenario: DegradedScenario):
+    """A ``ClusterFactory`` building the degraded version of a cluster.
+
+    The scenario is applied to every fresh build, so repeated calls
+    (IOR replications, IOzone probes) all see the same dead disks --
+    and the degraded volume's ``fingerprint()`` keys memoized replays
+    separately from the healthy platform's.
+    """
+    def build():
+        cluster = cluster_factory()
+        ions = cluster.globalfs.ions
+        for ion_idx, disks in scenario.failed:
+            if not 0 <= ion_idx < len(ions):
+                raise IndexError(
+                    f"scenario {scenario.name!r} fails I/O node {ion_idx} "
+                    f"but the cluster has {len(ions)}")
+            volume = ions[ion_idx].fs.volume
+            for disk_idx in disks:
+                volume.fail_disk(disk_idx)
+            if scenario.rebuild and hasattr(volume, "start_rebuild"):
+                volume.start_rebuild()
+        return cluster
+
+    return build
+
+
+def single_disk_scenarios(cluster_factory,
+                          rebuild: bool = False) -> list[DegradedScenario]:
+    """One scenario per I/O node: its volume's first member dead.
+
+    This is the canonical operational question -- "what does one disk
+    failure cost me?" -- asked of every storage server in turn.
+    """
+    cluster = cluster_factory()
+    out = []
+    for i, ion in enumerate(cluster.globalfs.ions):
+        if not ion.fs.volume.disks:
+            continue
+        suffix = "+rebuild" if rebuild else ""
+        out.append(DegradedScenario.make(
+            name=f"{ion.name}:disk0{suffix}", failed={i: (0,)},
+            rebuild=rebuild))
+    return out
+
+
+@dataclass
+class ScenarioOutcome:
+    """Time_io of one configuration under one scenario."""
+
+    scenario: str
+    total_time_ch: float  # inf when data was lost
+    lost_data: bool = False
+    detail: str = ""
+
+    @property
+    def survives(self) -> bool:
+        return not self.lost_data
+
+
+@dataclass
+class DegradedReport:
+    """Nominal + per-scenario Time_io of one configuration."""
+
+    config_name: str
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+
+    @property
+    def nominal(self) -> ScenarioOutcome:
+        return self.outcomes[0]
+
+    @property
+    def worst(self) -> ScenarioOutcome:
+        return max(self.outcomes, key=lambda o: o.total_time_ch)
+
+
+@dataclass
+class WorstCaseChoice:
+    """Selection by worst-case Time_io (nominal kept for comparison)."""
+
+    best: str
+    best_nominal: str
+    reports: dict[str, DegradedReport]
+
+    def ranking(self) -> list[tuple[str, float, float]]:
+        """(config, nominal, worst) sorted by worst-case time."""
+        rows = [(name, r.nominal.total_time_ch, r.worst.total_time_ch)
+                for name, r in self.reports.items()]
+        return sorted(rows, key=lambda row: row[2])
+
+
+def estimate_degraded(phases, cluster_factory, scenario: DegradedScenario,
+                      config_name: str = "config") -> ScenarioOutcome:
+    """Estimate Time_io (eq. 1) on the degraded platform.
+
+    Data loss (a JBOD/RAID-0 member gone, tolerance exceeded) is not an
+    error here -- it is the *answer*: the outcome carries
+    ``lost_data=True`` and an infinite time, so worst-case rankings
+    push the configuration to the bottom without aborting the study.
+    """
+    from repro.core.estimate import estimate_model
+
+    factory = degrade(cluster_factory, scenario)
+    try:
+        report = estimate_model(phases, factory, config_name=config_name)
+        outcome = ScenarioOutcome(scenario=scenario.name,
+                                  total_time_ch=report.total_time_ch)
+    except DataLossError as exc:
+        outcome = ScenarioOutcome(scenario=scenario.name,
+                                  total_time_ch=float("inf"),
+                                  lost_data=True, detail=str(exc))
+    if obs.ACTIVE:
+        obs.inc("degraded_estimates_total", config=config_name,
+                outcome="lost_data" if outcome.lost_data else "ok")
+    return outcome
+
+
+def worst_case_selection(phases, factories: dict,
+                         scenarios: dict | None = None,
+                         rebuild: bool = False) -> WorstCaseChoice:
+    """Rank configurations by worst-case degraded Time_io.
+
+    ``scenarios`` maps configuration name to a scenario list; by default
+    every configuration gets its :func:`single_disk_scenarios`.  Every
+    report starts with the :data:`NOMINAL` outcome, so the choice also
+    reports the healthy ranking (``best_nominal``) next to the
+    worst-case one (``best``) -- the interesting studies are the ones
+    where they differ.
+    """
+    reports: dict[str, DegradedReport] = {}
+    for name, factory in factories.items():
+        scens = (scenarios or {}).get(name)
+        if scens is None:
+            scens = single_disk_scenarios(factory, rebuild=rebuild)
+        report = DegradedReport(config_name=name)
+        for scenario in (NOMINAL, *scens):
+            report.outcomes.append(
+                estimate_degraded(phases, factory, scenario,
+                                  config_name=name))
+        reports[name] = report
+    best = min(reports, key=lambda n: reports[n].worst.total_time_ch)
+    best_nominal = min(reports,
+                       key=lambda n: reports[n].nominal.total_time_ch)
+    return WorstCaseChoice(best=best, best_nominal=best_nominal,
+                           reports=reports)

@@ -1,0 +1,291 @@
+"""Deterministic fault plans for the simulated I/O stack.
+
+A :class:`FaultPlan` is a *schedule* of component faults expressed in
+virtual time: which disk dies when (fail-stop), which disk degrades to a
+fraction of its rate (fail-slow), which I/O node drops off the fabric
+for a window and reconnects, which link browns out (reduced bandwidth,
+added latency).  Injection points inside :mod:`repro.iosim`
+(``Disk.transfer``, the ``Volume`` routing logic, ``Link.cost``/
+``Link.send``) consult the globally installed plan through the
+``repro.faults`` switchboard -- the same guard-first pattern as
+``repro.obs``, so a run without an installed plan pays a single
+``if not ACTIVE`` branch per site.
+
+Determinism is the design contract: a plan is a pure function of
+(target name, virtual time).  Two simulations of the same program under
+the same plan produce identical completion times *and* identical fault
+event streams (``plan.events``); :func:`FaultPlan.generate` derives a
+schedule from a seed via ``random.Random`` so whole chaos campaigns are
+replayable from one integer.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultError", "DiskFailure", "DataLossError", "TransientFault",
+    "FaultSpec", "FaultEvent", "FaultPlan",
+    "FAIL_STOP", "FAIL_SLOW", "DROPOUT", "BROWNOUT",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected-fault error."""
+
+
+class DiskFailure(FaultError):
+    """A fail-stop disk was addressed directly (no redundancy left)."""
+
+    def __init__(self, device: str, since: float):
+        super().__init__(f"disk {device!r} failed at t={since:.3f}s "
+                         "(fail-stop)")
+        self.device = device
+        self.since = since
+
+
+class DataLossError(FaultError):
+    """The addressed data is gone: too many members of a volume failed.
+
+    JBOD loses the files living on the dead disk outright; RAID 0 loses
+    everything; RAID 1/5 only after losing more members than the level
+    tolerates.
+    """
+
+    def __init__(self, volume: str, detail: str):
+        super().__init__(f"data loss on volume {volume!r}: {detail}")
+        self.volume = volume
+        self.detail = detail
+
+
+class TransientFault(FaultError):
+    """A retryable fault: the component comes back after ``retry_at``."""
+
+    def __init__(self, target: str, retry_at: float):
+        super().__init__(f"{target!r} unavailable, reconnects at "
+                         f"t={retry_at:.3f}s")
+        self.target = target
+        self.retry_at = retry_at
+
+
+#: Fault kinds a :class:`FaultSpec` can carry.
+FAIL_STOP = "fail_stop"
+FAIL_SLOW = "fail_slow"
+DROPOUT = "dropout"
+BROWNOUT = "brownout"
+
+_KINDS = (FAIL_STOP, FAIL_SLOW, DROPOUT, BROWNOUT)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault on one component.
+
+    ``target`` names the component (a ``Disk.name``, an ``IONode`` name,
+    a ``Link`` name; links also match on their owner's name, i.e. a
+    dropout targeting ``"nasd0"`` covers ``"nasd0.nic"``).  The fault is
+    live on ``start <= t < end``; fail-stop faults default to a
+    permanent ``end`` of +inf.
+
+    * ``fail_stop``  -- the disk is dead; redundancy routes around it.
+    * ``fail_slow``  -- transfers cost ``slow_factor`` x (> 1).
+    * ``dropout``    -- requests arriving in the window stall until
+      ``end`` (``mode="defer"``, the reconnect model) or raise
+      :class:`TransientFault` (``mode="error"``, the retryable-RPC
+      model).
+    * ``brownout``   -- link bandwidth is multiplied by ``bw_factor``
+      (< 1) and ``extra_latency_s`` is added per message.
+    """
+
+    kind: str
+    target: str
+    start: float = 0.0
+    end: float = math.inf
+    slow_factor: float = 1.0
+    bw_factor: float = 1.0
+    extra_latency_s: float = 0.0
+    mode: str = "defer"  # dropout only: "defer" | "error"
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {_KINDS}")
+        if self.end <= self.start:
+            raise ValueError(f"fault window must be non-empty, got "
+                             f"[{self.start}, {self.end})")
+        if self.kind == FAIL_SLOW and self.slow_factor <= 1.0:
+            raise ValueError("fail_slow needs slow_factor > 1")
+        if self.kind == BROWNOUT and not (0.0 < self.bw_factor <= 1.0):
+            raise ValueError("brownout needs 0 < bw_factor <= 1")
+        if self.mode not in ("defer", "error"):
+            raise ValueError(f"unknown dropout mode {self.mode!r}")
+
+    def live_at(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observed application of a fault (deterministic per run)."""
+
+    kind: str
+    target: str
+    t: float
+    detail: str = ""
+
+
+class FaultPlan:
+    """A deterministic schedule of faults plus its observed-event log."""
+
+    def __init__(self, faults: list[FaultSpec] | tuple[FaultSpec, ...] = (),
+                 seed: int | None = None):
+        self.seed = seed
+        self.faults = list(faults)
+        self.events: list[FaultEvent] = []
+        self._by_kind: dict[str, dict[str, list[FaultSpec]]] = {
+            k: {} for k in _KINDS}
+        for spec in self.faults:
+            self._by_kind[spec.kind].setdefault(spec.target, []).append(spec)
+        for kind in self._by_kind.values():
+            for specs in kind.values():
+                specs.sort(key=lambda s: s.start)
+        self._recorded: set[tuple] = set()
+
+    # -- construction ---------------------------------------------------------
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.faults.append(spec)
+        self._by_kind[spec.kind].setdefault(spec.target, []).append(spec)
+        self._by_kind[spec.kind][spec.target].sort(key=lambda s: s.start)
+        return self
+
+    @classmethod
+    def generate(cls, seed: int, *, disks: list[str] = (),
+                 ions: list[str] = (), links: list[str] = (),
+                 horizon_s: float = 600.0,
+                 p_fail_stop: float = 0.2, p_fail_slow: float = 0.3,
+                 p_dropout: float = 0.3, p_brownout: float = 0.3,
+                 dropout_s: float = 2.0, dropout_mode: str = "defer",
+                 max_fail_stop: int = 1) -> "FaultPlan":
+        """Derive a replayable fault schedule from one integer seed.
+
+        Each named disk independently draws a fail-stop death
+        (``p_fail_stop``, at most ``max_fail_stop`` deaths total, so a
+        redundant volume stays reconstructible) and a fail-slow window;
+        each I/O node draws a transient dropout-with-reconnect; each
+        link draws a brownout window.  The same seed and component
+        inventory always produces the identical plan.
+        """
+        rng = random.Random(seed)
+        specs: list[FaultSpec] = []
+        deaths = 0
+        for name in disks:
+            if deaths < max_fail_stop and rng.random() < p_fail_stop:
+                deaths += 1
+                specs.append(FaultSpec(FAIL_STOP, name,
+                                       start=rng.uniform(0, horizon_s / 2)))
+            if rng.random() < p_fail_slow:
+                start = rng.uniform(0, horizon_s / 2)
+                specs.append(FaultSpec(
+                    FAIL_SLOW, name, start=start,
+                    end=start + rng.uniform(1.0, horizon_s / 4),
+                    slow_factor=rng.uniform(1.5, 6.0)))
+        for name in ions:
+            if rng.random() < p_dropout:
+                start = rng.uniform(0, horizon_s / 2)
+                specs.append(FaultSpec(DROPOUT, name, start=start,
+                                       end=start + dropout_s,
+                                       mode=dropout_mode))
+        for name in links:
+            if rng.random() < p_brownout:
+                start = rng.uniform(0, horizon_s / 2)
+                specs.append(FaultSpec(
+                    BROWNOUT, name, start=start,
+                    end=start + rng.uniform(1.0, horizon_s / 4),
+                    bw_factor=rng.uniform(0.2, 0.8),
+                    extra_latency_s=rng.uniform(0.0, 2e-3)))
+        return cls(specs, seed=seed)
+
+    # -- queries (the iosim injection points) ---------------------------------
+    def _live(self, kind: str, target, t: float) -> FaultSpec | None:
+        table = self._by_kind[kind]
+        names = (target,) if isinstance(target, str) else target
+        for name in names:
+            for spec in table.get(name, ()):
+                if spec.live_at(t):
+                    return spec
+                if spec.start > t:
+                    break
+        return None
+
+    def disk_failed_since(self, name: str, t: float) -> float | None:
+        """Earliest fail-stop start covering ``t``, or None if alive."""
+        spec = self._live(FAIL_STOP, name, t)
+        return spec.start if spec is not None else None
+
+    def slow_factor(self, name: str, t: float) -> float:
+        """Fail-slow cost multiplier at ``t`` (1.0 when healthy)."""
+        spec = self._live(FAIL_SLOW, name, t)
+        if spec is None:
+            return 1.0
+        self.record(FAIL_SLOW, name, spec.start,
+                    f"x{spec.slow_factor:.2f} until {spec.end:.3f}")
+        return spec.slow_factor
+
+    def dropout(self, target, t: float) -> FaultSpec | None:
+        """The dropout window covering ``t``, if any.
+
+        ``target`` may be a single name or a tuple of aliases (a link
+        consults both its own name and its owner node's name).
+        """
+        return self._live(DROPOUT, target, t)
+
+    def link_state(self, target, t: float) -> tuple[float, float]:
+        """(bandwidth factor, extra latency) for a link at ``t``."""
+        spec = self._live(BROWNOUT, target, t)
+        if spec is None:
+            return 1.0, 0.0
+        name = target if isinstance(target, str) else target[0]
+        self.record(BROWNOUT, name, spec.start,
+                    f"bw x{spec.bw_factor:.2f} +{spec.extra_latency_s * 1e3:.2f}ms "
+                    f"until {spec.end:.3f}")
+        return spec.bw_factor, spec.extra_latency_s
+
+    def failed_members(self, disks, t: float) -> set[int]:
+        """Indices of ``disks`` whose fail-stop window covers ``t``."""
+        out = set()
+        for i, d in enumerate(disks):
+            since = self.disk_failed_since(d.name, t)
+            if since is not None:
+                out.add(i)
+                self.record(FAIL_STOP, d.name, since, "member down")
+        return out
+
+    # -- event log ------------------------------------------------------------
+    def record(self, kind: str, target: str, t: float, detail: str = "") -> None:
+        """Log one fault application (once per (kind, target, window))."""
+        key = (kind, target, t)
+        if key in self._recorded:
+            return
+        self._recorded.add(key)
+        self.events.append(FaultEvent(kind=kind, target=target, t=t,
+                                      detail=detail))
+        from repro import obs
+        if obs.ACTIVE:
+            obs.inc("fault_injections_total", kind=kind, target=target)
+            obs.event("fault.injected", cat="faults", kind=kind,
+                      target=target, t=t, detail=detail)
+
+    def clear_events(self) -> None:
+        """Reset the observed-event log (e.g. between repeated runs)."""
+        self.events.clear()
+        self._recorded.clear()
+
+    def event_stream(self) -> list[tuple]:
+        """The event log as comparable tuples (determinism checks)."""
+        return [(e.kind, e.target, e.t, e.detail) for e in self.events]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"FaultPlan({len(self.faults)} faults, seed={self.seed}, "
+                f"{len(self.events)} events)")

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import faults
+from repro.faults import DiskFailure
+
 from .resource import Resource
 
 MB = 1024 * 1024
@@ -62,6 +65,15 @@ class Disk:
         """
         if nbytes <= 0:
             return start
+        slow = 1.0
+        if faults.ACTIVE:
+            fp = faults.plan()
+            since = fp.disk_failed_since(self.name, start)
+            if since is not None:
+                fp.record(faults.FAIL_STOP, self.name, since,
+                          "addressed while dead")
+                raise DiskFailure(self.name, since)
+            slow = fp.slow_factor(self.name, start)
         bw = self.spec.seq_write_bw if kind == "write" else self.spec.seq_read_bw
         cost = self.spec.op_overhead_ms / 1e3 + nbytes / (bw * MB)
         seek_s = (self.spec.seek_ms + self.spec.rotational_ms) / 1e3
@@ -71,6 +83,9 @@ class Disk:
         if self._head is None or abs(offset - self._head) > near:
             cost += seek_s
         cost += max(0, fragments - 1) * seek_s
+        # A fail-slow disk serves everything -- positioning included --
+        # at a fraction of its healthy rate.
+        cost *= slow
         self._head = offset + nbytes
         begin, end = self.resource.acquire(start, cost)
         if self.monitor is not None:

@@ -138,7 +138,7 @@ class NFS(GlobalFS):
             nchunks = -(-total // (self.read_chunk_kb * 1024))
             extra = nchunks * self.read_rpc_ms / 1e3
         s_cost = self.server.nic.cost(total, at=c_begin) + extra
-        s_begin, s_end = self.server.nic.resource.acquire(c_begin + lat, s_cost)
+        s_begin, s_end = self.server.nic.acquire(c_begin + lat, s_cost)
         # Reads are synchronous RPCs: the per-chunk round trips serialize
         # with the media access instead of overlapping it.
         t = s_begin + self.rpc_overhead_ms / 1e3 + extra
@@ -193,7 +193,7 @@ class PVFS2(GlobalFS):
             ion = self.ions[s]
             nstripes = max(1, -(-nbytes // self.stripe_bytes))
             s_cost = ion.nic.cost(nbytes, at=t0) + nstripes * self.per_stripe_overhead_ms / 1e3
-            s_begin, s_end = ion.nic.resource.acquire(t0, s_cost)
+            s_begin, s_end = ion.nic.acquire(t0, s_cost)
             # Per-ION stripes are mostly contiguous in the local bfile,
             # but concurrent clients interleave a fraction of them.
             local_off = access.runs[0][0] // n
@@ -253,7 +253,7 @@ class Lustre(GlobalFS):
             ost = osts[s]
             nstripes = max(1, -(-nbytes // self.stripe_bytes))
             s_cost = ost.nic.cost(nbytes, at=t0) + nstripes * self.per_stripe_overhead_ms / 1e3
-            s_begin, s_end = ost.nic.resource.acquire(t0, s_cost)
+            s_begin, s_end = ost.nic.acquire(t0, s_cost)
             local_off = access.runs[0][0] // n
             fragments = max(1, int(nstripes * self.interleave_seek_factor))
             fs_end = ost.fs.transfer(s_begin, local_off, nbytes, access.kind,

@@ -14,6 +14,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro import faults
+from repro.faults import TransientFault
+
 from .device import MB
 from .resource import Resource
 
@@ -65,13 +68,48 @@ class Link:
         self.name = name
         self.spec = spec
         self.resource = Resource(name)
+        # A link named "nasd0.nic" also answers to faults targeting its
+        # owner node "nasd0" (I/O-node dropout, node-level brownouts).
+        owner = name.rsplit(".", 1)[0]
+        self._fault_names = (name,) if owner == name else (name, owner)
 
     def cost(self, nbytes: int, at: float = 0.0) -> float:
-        return self.spec.latency_s + nbytes / (self.spec.bw_at(at) * MB)
+        bw = self.spec.bw_at(at)
+        latency = self.spec.latency_s
+        if faults.ACTIVE:
+            bw_factor, extra_latency = faults.plan().link_state(
+                self._fault_names, at)
+            bw *= bw_factor
+            latency += extra_latency
+        return latency + nbytes / (bw * MB)
 
     def send(self, start: float, nbytes: int) -> tuple[float, float]:
-        """Occupy the link for a message; returns (begin, end)."""
+        """Occupy the link for a message; returns (begin, end).
+
+        An active dropout window covering ``start`` either defers the
+        message to the reconnect time (``mode="defer"``) or raises
+        :class:`~repro.faults.plan.TransientFault` (``mode="error"``)
+        for the pipeline's retry policy to absorb.
+        """
+        start = self._deferred_start(start)
         return self.resource.acquire(start, self.cost(nbytes, at=start))
+
+    def acquire(self, start: float, cost: float) -> tuple[float, float]:
+        """Dropout-aware ``Resource.acquire`` (used by server-side NICs
+        whose cost the filesystem model computes itself)."""
+        return self.resource.acquire(self._deferred_start(start), cost)
+
+    def _deferred_start(self, start: float) -> float:
+        if faults.ACTIVE:
+            fp = faults.plan()
+            window = fp.dropout(self._fault_names, start)
+            if window is not None:
+                fp.record(faults.DROPOUT, window.target, window.start,
+                          f"{window.mode} until {window.end:.3f}")
+                if window.mode == "error":
+                    raise TransientFault(window.target, retry_at=window.end)
+                start = window.end  # stall until the component reconnects
+        return start
 
     def fingerprint(self) -> tuple:
         return ("Link", self.spec.fingerprint())

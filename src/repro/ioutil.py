@@ -1,0 +1,74 @@
+"""Atomic artifact writes: write-temp-then-rename.
+
+Every artifact the pipeline persists (trace bundles, models, benchmark
+reports, sweep checkpoints) goes through these helpers so an
+interrupted run can never leave a half-written file that a later load
+misparses: the temp file lives in the *same directory* as the target
+(``os.replace`` is only atomic within one filesystem) and the rename
+happens only after a flush+fsync.  A crash mid-write leaves the old
+content (or nothing) in place, plus at worst an orphaned ``*.tmp*``
+file that is safe to delete.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+
+@contextmanager
+def atomic_open(path: str | Path, mode: str = "w") -> Iterator:
+    """Open a temp file next to ``path``; rename over it on success.
+
+    ``mode`` must be a write mode ("w", "wb", ...).  On any exception
+    the temp file is removed and ``path`` is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode) as f:
+            yield f
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@contextmanager
+def atomic_path(path: str | Path) -> Iterator[Path]:
+    """Yield a temp *path* (same directory, same suffix) to hand to
+    libraries that write by filename (``np.savez_compressed`` appends
+    ``.npz`` unless the name already ends with it); renamed over
+    ``path`` on success, removed on failure."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp{path.suffix}")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    with atomic_open(path, "w") as f:
+        f.write(text)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    with atomic_open(path, "wb") as f:
+        f.write(data)

@@ -132,6 +132,22 @@ def _preregister(reg: MetricsRegistry) -> None:
     reg.gauge("characterize_rows_per_s",
               "Trace rows/s through the most recent model extraction",
               ("method",))
+    reg.counter("fault_injections_total",
+                "Fault-plan events injected into the simulation",
+                ("kind", "target"))
+    reg.counter("retries_total",
+                "Retry-policy re-attempts after transient faults",
+                ("kind",))
+    reg.counter("sweep_job_failures_total",
+                "Sweep jobs that raised or timed out", ("job",))
+    reg.counter("sweep_jobs_resumed_total",
+                "Sweep jobs skipped because a checkpoint already existed")
+    reg.counter("quarantined_lines_total",
+                "Trace inputs dropped by quarantine-mode ingest",
+                ("reason",))
+    reg.counter("degraded_estimates_total",
+                "Degraded-mode estimations completed",
+                ("config", "outcome"))
 
 
 # -- structured helpers (no-ops when disabled) ---------------------------------

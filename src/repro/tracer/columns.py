@@ -263,26 +263,36 @@ class TraceColumns:
 
     # -- persistence ----------------------------------------------------------
     def save(self, path: str | Path) -> Path:
-        """Write the binary trace: ``.npz`` (numpy) or packed ``.trc``."""
+        """Write the binary trace: ``.npz`` (numpy) or packed ``.trc``.
+
+        Both formats write atomically (temp file in the same directory,
+        then rename): a killed run never leaves a truncated bundle that
+        a later :meth:`load` would reject.
+        """
+        from repro.ioutil import atomic_path
+
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         if path.suffix == ".npz":
             if np is None:
                 raise RuntimeError(".npz requires numpy; use the packed "
                                    "'.trc' format instead")
-            np.savez_compressed(
-                path, op_table=np.array(self.op_table, dtype=str),
-                **{name: np.asarray(getattr(self, name)) for name in ALL_COLUMNS})
+            with atomic_path(path) as tmp:
+                np.savez_compressed(
+                    tmp, op_table=np.array(self.op_table, dtype=str),
+                    **{name: np.asarray(getattr(self, name))
+                       for name in ALL_COLUMNS})
             return path
-        with path.open("wb") as f:
-            f.write(MAGIC)
-            header = {"version": 1, "n": len(self), "op_table": self.op_table,
-                      "columns": list(ALL_COLUMNS)}
-            f.write(json.dumps(header).encode("utf-8") + b"\n")
-            for name in INT_COLUMNS:
-                f.write(_int_blob(getattr(self, name), self.backend))
-            for name in FLOAT_COLUMNS:
-                f.write(_float_blob(getattr(self, name), self.backend))
+        with atomic_path(path) as tmp:
+            with tmp.open("wb") as f:
+                f.write(MAGIC)
+                header = {"version": 1, "n": len(self),
+                          "op_table": self.op_table,
+                          "columns": list(ALL_COLUMNS)}
+                f.write(json.dumps(header).encode("utf-8") + b"\n")
+                for name in INT_COLUMNS:
+                    f.write(_int_blob(getattr(self, name), self.backend))
+                for name in FLOAT_COLUMNS:
+                    f.write(_float_blob(getattr(self, name), self.backend))
         return path
 
     @classmethod
@@ -360,7 +370,8 @@ def _read_float_blob(f, n: int, backend: str):
 def read_trace_columns(path: str | Path, *,
                        etype_size: int | Mapping[int, int] | None = None,
                        backend: str | None = None,
-                       chunk_lines: int = 1 << 16) -> TraceColumns:
+                       chunk_lines: int = 1 << 16,
+                       quarantine=None) -> TraceColumns:
     """Chunked/streaming parse of a Fig. 2 text trace into columns.
 
     Memory is O(chunk) beyond the output columns themselves: no
@@ -370,6 +381,12 @@ def read_trace_columns(path: str | Path, *,
     raise ``ValueError`` with ``path:lineno``, and legacy 8-field rows
     resolve ``AbsOffset`` through ``etype_size`` (scalar or
     ``{file_id: etype}`` map) or the ``ABS_OFFSET_UNKNOWN`` sentinel.
+
+    With ``quarantine`` (a
+    :class:`~repro.tracer.quarantine.QuarantineReport`) malformed rows
+    are recorded and skipped instead of raising; every well-formed row
+    around them is salvaged, and column alignment is preserved (a row is
+    appended only after *all* its fields parsed).
     """
     path = Path(path)
     backend = backend or default_backend()
@@ -387,17 +404,17 @@ def read_trace_columns(path: str | Path, *,
             pending.append((lineno, line))
             if len(pending) >= chunk_lines:
                 _parse_chunk(pending, path, cols, op_table, op_index,
-                             etype_size, backend)
+                             etype_size, backend, quarantine)
                 pending.clear()
     if pending:
         _parse_chunk(pending, path, cols, op_table, op_index, etype_size,
-                     backend)
+                     backend, quarantine)
     # columns accumulate as plain lists; one bulk conversion at the end
     return TraceColumns(op_table=op_table, backend=backend, **cols)
 
 
 def _parse_chunk(pending, path, cols, op_table, op_index, etype_size,
-                 backend) -> None:
+                 backend, quarantine=None) -> None:
     rows = [line.split() for _, line in pending]
     if backend == "numpy" and all(len(r) == 9 for r in rows):
         try:
@@ -406,7 +423,7 @@ def _parse_chunk(pending, path, cols, op_table, op_index, etype_size,
         except ValueError:
             pass  # re-parse row by row for a precise error location
     _parse_chunk_rows(pending, rows, path, cols, op_table, op_index,
-                      etype_size)
+                      etype_size, quarantine)
 
 
 def _parse_chunk_numpy(rows, cols, op_table, op_index) -> None:
@@ -441,34 +458,53 @@ def _parse_chunk_numpy(rows, cols, op_table, op_index) -> None:
 
 
 def _parse_chunk_rows(pending, rows, path, cols, op_table, op_index,
-                      etype_size) -> None:
+                      etype_size, quarantine=None) -> None:
     is_map = isinstance(etype_size, Mapping)
+    salvaging = quarantine is not None and not quarantine.strict
+    if salvaging:
+        from .quarantine import guess_rank
     for (lineno, line), parts in zip(pending, rows):
         if len(parts) not in (8, 9):
+            if salvaging:
+                quarantine.note(path, guess_rank(line), lineno,
+                                f"malformed trace line ({len(parts)} fields)",
+                                line)
+                continue
             raise ValueError(f"{path}:{lineno}: malformed trace line "
                              f"({len(parts)} fields): {line!r}")
         try:
+            # Parse every field before appending anything, so a bad row
+            # can be skipped without skewing column alignment.
+            rank = int(parts[0])
             fid = int(parts[1])
             off = int(parts[3])
+            tick = int(parts[4])
+            rs = int(parts[5])
+            t = float(parts[6])
+            d = float(parts[7])
             if len(parts) == 9:
                 abs_off = int(parts[8])
             else:
                 es = etype_size.get(fid) if is_map else etype_size
                 abs_off = off * es if es else ABS_OFFSET_UNKNOWN
-            cols["rank"].append(int(parts[0]))
-            cols["file_id"].append(fid)
-            op = parts[2]
-            code = op_index.get(op)
-            if code is None:
-                code = op_index[op] = len(op_table)
-                op_table.append(op)
-            cols["op_code"].append(code)
-            cols["offset"].append(off)
-            cols["tick"].append(int(parts[4]))
-            cols["request_size"].append(int(parts[5]))
-            cols["time"].append(float(parts[6]))
-            cols["duration"].append(float(parts[7]))
-            cols["abs_offset"].append(abs_off)
         except ValueError:
+            if salvaging:
+                quarantine.note(path, guess_rank(line), lineno,
+                                "malformed trace line", line)
+                continue
             raise ValueError(f"{path}:{lineno}: malformed trace line: "
                              f"{line!r}") from None
+        cols["rank"].append(rank)
+        cols["file_id"].append(fid)
+        op = parts[2]
+        code = op_index.get(op)
+        if code is None:
+            code = op_index[op] = len(op_table)
+            op_table.append(op)
+        cols["op_code"].append(code)
+        cols["offset"].append(off)
+        cols["tick"].append(tick)
+        cols["request_size"].append(rs)
+        cols["time"].append(t)
+        cols["duration"].append(d)
+        cols["abs_offset"].append(abs_off)

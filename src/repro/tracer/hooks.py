@@ -26,6 +26,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.ioutil import atomic_write_text
 from repro.simmpi.engine import Engine
 from repro.simmpi.fileio import IOEvent
 
@@ -99,27 +100,81 @@ class TraceBundle:
                 write_trace_file(directory / f"trace.{rank}",
                                  self.by_rank(rank))
         payload = {"nprocs": self.nprocs, "metadata": self.metadata.to_dict()}
-        (directory / "metadata.json").write_text(json.dumps(payload, indent=2))
+        atomic_write_text(directory / "metadata.json",
+                          json.dumps(payload, indent=2))
 
     @classmethod
-    def load(cls, directory: str | Path) -> "TraceBundle":
-        """Load a saved bundle, auto-detecting binary vs. text layout."""
+    def load(cls, directory: str | Path,
+             quarantine=None) -> "TraceBundle":
+        """Load a saved bundle, auto-detecting binary vs. text layout.
+
+        With ``quarantine`` (a
+        :class:`~repro.tracer.quarantine.QuarantineReport`) a damaged
+        bundle loads partially instead of raising: corrupt metadata
+        falls back to counting the ``trace.<rank>`` files, a corrupt or
+        truncated binary column file is quarantined whole (it cannot be
+        partially decoded -- see the quarantine module docstring) with
+        a fallback to any per-rank text files, and each text file
+        salvages its well-formed rows line by line.  Missing rank files
+        are reported per rank and the remaining ranks survive.
+        """
+        from .quarantine import RANK_UNKNOWN
+
         directory = Path(directory)
-        payload = json.loads((directory / "metadata.json").read_text())
-        nprocs = payload["nprocs"]
-        metadata = AppMetadata.from_dict(payload["metadata"])
+        salvaging = quarantine is not None and not quarantine.strict
+        meta_path = directory / "metadata.json"
+        nprocs = None
+        metadata = None
+        try:
+            payload = json.loads(meta_path.read_text())
+            nprocs = payload["nprocs"]
+            metadata = AppMetadata.from_dict(payload["metadata"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            if not salvaging:
+                raise
+            quarantine.note(meta_path, RANK_UNKNOWN, 0,
+                            f"unreadable metadata: {type(exc).__name__}")
         columns = None
         for name in ("columns.npz", "columns.trc"):
-            if (directory / name).exists():
-                columns = TraceColumns.load(directory / name)
-                break
+            binpath = directory / name
+            if not binpath.exists():
+                continue
+            try:
+                columns = TraceColumns.load(binpath)
+            except Exception as exc:
+                if not salvaging:
+                    raise
+                # Column-major blobs cannot be partially decoded; drop
+                # the file and fall back to text traces if present.
+                quarantine.note(binpath, RANK_UNKNOWN, 0,
+                                f"corrupt binary columns: {exc}")
+                continue
+            break
         if columns is None:
-            # legacy 8-field rows resolve AbsOffset via the recorded etypes
-            etypes = {f.file_id: f.etype_size for f in metadata.files}
-            parts = [read_trace_columns(directory / f"trace.{rank}",
-                                        etype_size=etypes)
-                     for rank in range(nprocs)]
+            if nprocs is None:
+                # metadata was quarantined: infer the rank count from
+                # the trace files actually present.
+                ranks = sorted(int(p.name.split(".", 1)[1])
+                               for p in directory.glob("trace.*")
+                               if p.name.split(".", 1)[1].isdigit())
+                nprocs = (max(ranks) + 1) if ranks else 0
+            etypes = ({f.file_id: f.etype_size for f in metadata.files}
+                      if metadata is not None else None)
+            parts = []
+            for rank in range(nprocs):
+                rank_path = directory / f"trace.{rank}"
+                try:
+                    parts.append(read_trace_columns(rank_path,
+                                                    etype_size=etypes,
+                                                    quarantine=quarantine))
+                except OSError as exc:
+                    if not salvaging:
+                        raise
+                    quarantine.note(rank_path, rank, 0,
+                                    f"missing trace file: {type(exc).__name__}")
             columns = TraceColumns.concat(parts)
+        if nprocs is None:
+            nprocs = int(max(columns.rank)) + 1 if len(columns) else 0
         return cls(nprocs=nprocs, columns=columns, metadata=metadata)
 
 

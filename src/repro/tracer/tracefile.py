@@ -113,10 +113,14 @@ class TraceRecord:
 
 
 def write_trace_file(path: str | Path, records: Iterable[TraceRecord]) -> None:
-    """Write one process's trace file (``traceFile_(p)`` in Table I)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as f:
+    """Write one process's trace file (``traceFile_(p)`` in Table I).
+
+    The write is atomic (temp file + rename): a run killed mid-save
+    leaves the previous trace (or nothing), never a truncated file.
+    """
+    from repro.ioutil import atomic_open
+
+    with atomic_open(Path(path), "w") as f:
         f.write(HEADER + "\n")
         for rec in records:
             f.write(rec.to_line() + "\n")
@@ -124,14 +128,21 @@ def write_trace_file(path: str | Path, records: Iterable[TraceRecord]) -> None:
 
 def read_trace_file(path: str | Path,
                     etype_size: int | Mapping[int, int] | None = None,
-                    ) -> list[TraceRecord]:
+                    quarantine=None) -> list[TraceRecord]:
     """Parse a trace file written by :func:`write_trace_file`.
 
     The header is skipped only when line 1 matches :data:`HEADER`
     exactly; malformed rows raise ``ValueError`` tagged with
     ``path:lineno``.  ``etype_size`` resolves the absolute offset of
     legacy 8-field rows (see :meth:`TraceRecord.from_line`).
+
+    With ``quarantine`` (a
+    :class:`~repro.tracer.quarantine.QuarantineReport`) malformed rows
+    are recorded there instead of raising, and every well-formed row --
+    before, between and after the garbage -- is salvaged.
     """
+    from .quarantine import guess_rank
+
     path = Path(path)
     records = []
     with path.open() as f:
@@ -142,6 +153,10 @@ def read_trace_file(path: str | Path,
             try:
                 records.append(TraceRecord.from_line(line, etype_size))
             except ValueError as exc:
+                if quarantine is not None and not quarantine.strict:
+                    quarantine.note(path, guess_rank(line), lineno,
+                                    "malformed trace line", line)
+                    continue
                 raise ValueError(f"{path}:{lineno}: {exc}") from None
     return records
 

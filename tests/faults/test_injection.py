@@ -1,0 +1,139 @@
+"""Fault injection at the iosim injection points.
+
+These tests install plans through ``faults.injected`` and drive the
+devices/links directly in virtual time -- the same call paths the
+engine's filesystems use.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults, obs
+from repro.faults import (
+    BROWNOUT,
+    DROPOUT,
+    FAIL_SLOW,
+    FAIL_STOP,
+    DiskFailure,
+    FaultPlan,
+    FaultSpec,
+    TransientFault,
+)
+from repro.iosim import MB, Disk, DiskSpec, Link
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "1234"))
+
+
+def fresh_disk(name: str = "d0") -> Disk:
+    return Disk(name, DiskSpec())
+
+
+def test_inactive_plan_costs_nothing():
+    assert not faults.ACTIVE
+    d = fresh_disk()
+    end = d.transfer(0.0, 0, MB, "write")
+    assert end > 0.0
+
+
+def test_fail_stop_disk_raises():
+    plan = FaultPlan([FaultSpec(FAIL_STOP, "d0", start=5.0)])
+    with faults.injected(plan):
+        d = fresh_disk()
+        ok = d.transfer(0.0, 0, MB, "write")  # before the death
+        assert ok > 0.0
+        with pytest.raises(DiskFailure) as ei:
+            d.transfer(6.0, 0, MB, "write")
+        assert ei.value.device == "d0"
+        assert ei.value.since == 5.0
+    assert any(e.kind == FAIL_STOP for e in plan.events)
+
+
+def test_fail_slow_multiplies_cost():
+    healthy = fresh_disk().transfer(0.0, 0, 64 * MB, "write")
+    plan = FaultPlan([FaultSpec(FAIL_SLOW, "d0", start=0.0, end=100.0,
+                                slow_factor=3.0)])
+    with faults.injected(plan):
+        slow = fresh_disk().transfer(0.0, 0, 64 * MB, "write")
+    assert slow == pytest.approx(3.0 * healthy)
+
+
+def test_dropout_defers_link_send():
+    plan = FaultPlan([FaultSpec(DROPOUT, "ion0", start=0.0, end=2.0)])
+    with faults.injected(plan):
+        link = Link("ion0.nic")  # alias: link answers to its owner node
+        begin, end = link.send(0.5, MB)
+        assert begin >= 2.0  # stalled until reconnect
+    assert any(e.kind == DROPOUT for e in plan.events)
+
+
+def test_dropout_error_mode_raises_transient():
+    plan = FaultPlan([FaultSpec(DROPOUT, "ion0", start=0.0, end=2.0,
+                                mode="error")])
+    with faults.injected(plan):
+        link = Link("ion0.nic")
+        with pytest.raises(TransientFault) as ei:
+            link.send(0.5, MB)
+        assert ei.value.retry_at == 2.0
+        # after the window the link works again
+        begin, end = link.send(2.5, MB)
+        assert begin >= 2.5
+
+
+def test_brownout_inflates_link_cost():
+    link = Link("cn0.nic")
+    healthy = link.cost(4 * MB, at=1.0)
+    plan = FaultPlan([FaultSpec(BROWNOUT, "cn0.nic", start=0.0, end=10.0,
+                                bw_factor=0.5, extra_latency_s=2e-3)])
+    with faults.injected(plan):
+        browned = Link("cn0.nic").cost(4 * MB, at=1.0)
+    assert browned > 2.0 * healthy - 1e-9  # half bandwidth + extra latency
+    assert browned == pytest.approx(healthy * 2 + 2e-3 - link.spec.latency_s,
+                                    rel=1e-6)
+
+
+def test_injected_restores_previous_plan():
+    outer = FaultPlan()
+    inner = FaultPlan()
+    with faults.injected(outer):
+        assert faults.plan() is outer
+        with faults.injected(inner):
+            assert faults.plan() is inner
+        assert faults.plan() is outer
+    assert not faults.ACTIVE
+
+
+def test_same_seed_same_event_stream_through_devices():
+    """Acceptance: fixed-seed schedules yield identical event streams."""
+    def run(seed: int) -> list[tuple]:
+        plan = FaultPlan.generate(seed, disks=["d0", "d1"],
+                                  links=["cn0.nic"],
+                                  horizon_s=10.0, p_fail_stop=0.0,
+                                  p_fail_slow=1.0, p_brownout=1.0)
+        with faults.injected(plan):
+            disks = [fresh_disk("d0"), fresh_disk("d1")]
+            link = Link("cn0.nic")
+            t = 0.0
+            for i in range(40):
+                t = disks[i % 2].transfer(t, i * MB, MB, "write")
+                _, t = link.send(t, MB)
+        return plan.event_stream()
+
+    assert run(SEED) == run(SEED)
+
+
+def test_fault_injections_counted_in_obs():
+    plan = FaultPlan([FaultSpec(FAIL_SLOW, "d0", start=0.0, end=10.0,
+                                slow_factor=2.0)])
+    obs.enable()
+    try:
+        with faults.injected(plan):
+            fresh_disk().transfer(0.0, 0, MB, "write")
+        reg = obs.registry()
+        fam = next(f for f in reg.families()
+                   if f.name == "fault_injections_total")
+        assert sum(child.value for _, child in fam.samples()) >= 1
+    finally:
+        obs.disable()

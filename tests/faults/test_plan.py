@@ -1,0 +1,110 @@
+"""FaultPlan: spec validation, seeded generation, determinism."""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.faults import (
+    BROWNOUT,
+    DROPOUT,
+    FAIL_SLOW,
+    FAIL_STOP,
+    FaultPlan,
+    FaultSpec,
+)
+
+# A chaos campaign can sweep the schedule seed through the environment
+# (the CI chaos job runs the suite once per seed in its matrix).
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "1234"))
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec("meltdown", "d0")
+    with pytest.raises(ValueError, match="non-empty"):
+        FaultSpec(FAIL_STOP, "d0", start=5.0, end=5.0)
+    with pytest.raises(ValueError, match="slow_factor > 1"):
+        FaultSpec(FAIL_SLOW, "d0", slow_factor=0.5)
+    with pytest.raises(ValueError, match="bw_factor"):
+        FaultSpec(BROWNOUT, "link0", bw_factor=0.0)
+    with pytest.raises(ValueError, match="dropout mode"):
+        FaultSpec(DROPOUT, "ion0", mode="explode")
+
+
+def test_spec_live_window():
+    spec = FaultSpec(FAIL_SLOW, "d0", start=2.0, end=5.0, slow_factor=2.0)
+    assert not spec.live_at(1.9)
+    assert spec.live_at(2.0)
+    assert spec.live_at(4.999)
+    assert not spec.live_at(5.0)
+
+
+def test_fail_stop_defaults_to_permanent():
+    spec = FaultSpec(FAIL_STOP, "d0", start=3.0)
+    assert spec.end == math.inf
+    assert spec.live_at(1e9)
+
+
+def test_generate_is_deterministic_per_seed():
+    kwargs = dict(disks=["d0", "d1", "d2"], ions=["ion0", "ion1"],
+                  links=["cn0.nic"], p_fail_stop=0.9, p_fail_slow=0.9,
+                  p_dropout=0.9, p_brownout=0.9)
+    a = FaultPlan.generate(SEED, **kwargs)
+    b = FaultPlan.generate(SEED, **kwargs)
+    assert a.faults == b.faults
+    assert a.faults  # high probabilities: something was scheduled
+    c = FaultPlan.generate(SEED + 1, **kwargs)
+    assert a.faults != c.faults
+
+
+def test_generate_caps_fail_stops():
+    plan = FaultPlan.generate(SEED, disks=[f"d{i}" for i in range(20)],
+                              p_fail_stop=1.0, max_fail_stop=1)
+    deaths = [s for s in plan.faults if s.kind == FAIL_STOP]
+    assert len(deaths) == 1
+
+
+def test_queries_and_event_log():
+    plan = FaultPlan([
+        FaultSpec(FAIL_STOP, "d0", start=10.0),
+        FaultSpec(FAIL_SLOW, "d1", start=0.0, end=5.0, slow_factor=3.0),
+        FaultSpec(DROPOUT, "ion0", start=1.0, end=2.0),
+        FaultSpec(BROWNOUT, "cn0.nic", start=0.0, end=4.0, bw_factor=0.5,
+                  extra_latency_s=1e-3),
+    ])
+    assert plan.disk_failed_since("d0", 9.9) is None
+    assert plan.disk_failed_since("d0", 10.0) == 10.0
+    assert plan.slow_factor("d1", 1.0) == 3.0
+    assert plan.slow_factor("d1", 6.0) == 1.0
+    assert plan.dropout(("ion0.nic", "ion0"), 1.5) is not None
+    assert plan.dropout(("ion0.nic", "ion0"), 2.5) is None
+    assert plan.link_state(("cn0.nic",), 3.0) == (0.5, 1e-3)
+    assert plan.link_state(("cn0.nic",), 5.0) == (1.0, 0.0)
+    # slow_factor and link_state record themselves, deduplicated
+    kinds = {e.kind for e in plan.events}
+    assert kinds == {FAIL_SLOW, BROWNOUT}
+    n = len(plan.events)
+    plan.slow_factor("d1", 2.0)
+    assert len(plan.events) == n  # same window recorded once
+    plan.clear_events()
+    assert plan.events == []
+
+
+def test_event_stream_identical_across_replays():
+    """Same plan, same access sequence -> identical event streams."""
+    def replay(plan):
+        plan.clear_events()
+        for t in (0.5, 1.5, 3.0, 6.0):
+            plan.slow_factor("d1", t)
+            plan.link_state(("cn0.nic",), t)
+            plan.failed_members([], t)
+        return plan.event_stream()
+
+    plan = FaultPlan([
+        FaultSpec(FAIL_SLOW, "d1", start=1.0, end=4.0, slow_factor=2.0),
+        FaultSpec(BROWNOUT, "cn0.nic", start=2.0, end=7.0, bw_factor=0.7),
+    ])
+    assert replay(plan) == replay(plan)

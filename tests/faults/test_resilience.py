@@ -1,0 +1,86 @@
+"""RetryPolicy / retry_call: bounded, deterministic, selective."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import TransientFault
+from repro.faults.resilience import (
+    NO_RETRY,
+    RetryPolicy,
+    RetryStats,
+    retry_call,
+)
+
+
+def flaky(failures: int, exc_factory=lambda: TransientFault("x", 1.0)):
+    """A function that fails ``failures`` times, then succeeds."""
+    state = {"left": failures, "calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc_factory()
+        return "ok"
+
+    fn.state = state
+    return fn
+
+
+def no_sleep(_):
+    pass
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+
+
+def test_deterministic_exponential_backoff():
+    policy = RetryPolicy(max_attempts=5, backoff_s=0.1, backoff_factor=2.0,
+                         max_backoff_s=0.3)
+    assert [policy.delay(a) for a in (1, 2, 3, 4)] == \
+        [0.1, 0.2, 0.3, 0.3]  # capped
+
+
+def test_retry_absorbs_transient_faults():
+    fn = flaky(2)
+    stats = RetryStats()
+    result = retry_call(fn, policy=RetryPolicy(max_attempts=3),
+                        on_retry=stats.note, sleep=no_sleep)
+    assert result == "ok"
+    assert fn.state["calls"] == 3
+    assert stats.retries == 2
+    assert "TransientFault" in stats.last_error
+
+
+def test_exhausted_policy_reraises_last_error():
+    fn = flaky(5)
+    with pytest.raises(TransientFault):
+        retry_call(fn, policy=RetryPolicy(max_attempts=3), sleep=no_sleep)
+    assert fn.state["calls"] == 3
+
+
+def test_non_retryable_errors_propagate_immediately():
+    fn = flaky(1, exc_factory=lambda: RuntimeError("logic bug"))
+    with pytest.raises(RuntimeError, match="logic bug"):
+        retry_call(fn, policy=RetryPolicy(max_attempts=5), sleep=no_sleep)
+    assert fn.state["calls"] == 1  # never retried
+
+
+def test_no_retry_policy_fails_fast():
+    fn = flaky(1)
+    with pytest.raises(TransientFault):
+        retry_call(fn, policy=NO_RETRY, sleep=no_sleep)
+    assert fn.state["calls"] == 1
+
+
+def test_backoff_sleeps_are_paced():
+    policy = RetryPolicy(max_attempts=3, backoff_s=0.5, backoff_factor=2.0,
+                         max_backoff_s=10.0)
+    slept = []
+    retry_call(flaky(2), policy=policy, sleep=slept.append)
+    assert slept == [0.5, 1.0]
