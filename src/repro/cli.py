@@ -11,6 +11,7 @@ Subcommands mirror the methodology's stages::
     repro-io replay    --model mb2.model.json --config finisterrae
     repro-io signatures --model mb2.model.json
     repro-io profile   --app madbench2 --np 16 --config configuration-A --out prof/
+    repro-io cache     stats|clear|warm [--dir .repro-cache]
     repro-io configs
 
 Applications: madbench2, btio-A/B/C/D, synthetic, ior, roms.
@@ -252,6 +253,55 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect, clear or pre-populate the persistent result store."""
+    from repro import store
+
+    root = Path(args.dir) if args.dir else store.default_root()
+    rs = store.ResultStore(root)
+
+    if args.action == "stats":
+        stats = rs.stats()
+        if not stats:
+            print(f"result store {root}: empty")
+            return 0
+        print(f"result store {root} (schema v{rs.schema}):")
+        total_entries = total_bytes = 0
+        for cache, st in stats.items():
+            print(f"  {cache:<14} {st['entries']:>6} entries  "
+                  f"{st['bytes'] / 1024:>10.1f} KiB")
+            total_entries += st["entries"]
+            total_bytes += st["bytes"]
+        print(f"  {'total':<14} {total_entries:>6} entries  "
+              f"{total_bytes / 1024:>10.1f} KiB")
+        return 0
+
+    if args.action == "clear":
+        removed = rs.clear(args.cache)
+        what = f"cache {args.cache!r}" if args.cache else "all caches"
+        print(f"removed {removed} entries ({what}) from {root}")
+        return 0
+
+    # warm: run a study against the store so the next run starts hot
+    from repro.core.pipeline import full_study
+
+    store.attach(root)
+    try:
+        program, params = _app_for(args.app, args.np)
+        factories = {name: _factory_for(name)
+                     for name in args.configs.split(",")}
+        full_study(program, args.np, params, cluster_factories=factories,
+                   app_name=args.app)
+    finally:
+        store.detach()
+    stats = rs.stats()
+    total = sum(st["entries"] for st in stats.values())
+    print(f"warmed {root} with {args.app} (np={args.np}) on "
+          f"{len(factories)} configurations: {total} entries in "
+          f"{len(stats)} caches")
+    return 0
+
+
 def cmd_configs(args: argparse.Namespace) -> int:
     descs = [f().description for f in ALL_CONFIGURATIONS.values()]
     print(configuration_table(descs, title="Available I/O configurations "
@@ -351,6 +401,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for events.jsonl, trace.chrome.json, "
                         "metrics.prom")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect, clear or pre-populate the persistent result store")
+    p.add_argument("action", choices=("stats", "clear", "warm"))
+    p.add_argument("--dir",
+                   help="store directory (default: $REPRO_CACHE_DIR or "
+                        ".repro-cache)")
+    p.add_argument("--cache",
+                   help="(clear) only this named cache, e.g. ior or trace")
+    p.add_argument("--app", default="madbench2",
+                   help="(warm) application whose study populates the store")
+    p.add_argument("--np", type=int, default=16)
+    p.add_argument("--configs", default="configuration-A,configuration-B",
+                   help="(warm) comma-separated configuration names")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("configs", help="list the modeled I/O configurations")
     p.set_defaults(func=cmd_configs)

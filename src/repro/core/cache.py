@@ -28,6 +28,16 @@ so they can be inspected, cleared or disabled as a group::
 Hits and misses also feed ``repro.obs`` counters
 (``cache_hits_total`` / ``cache_misses_total``, labelled by cache) when
 observability is enabled.
+
+When a persistent store is attached (:mod:`repro.store`, via
+``store.attach(...)`` or the ``REPRO_CACHE_DIR`` environment variable),
+every cache transparently extends to disk: an in-memory miss falls
+through to the store (counted in ``disk_hits`` and promoted back into
+memory), and every insert writes through, so results survive process
+exit and are shared by concurrent ``sweep_map`` workers.  Keys that
+have no deterministic byte encoding simply stay in-memory-only.
+``clear_all()`` drops the in-memory tier only; the disk tier is managed
+through ``repro-io cache clear`` / ``ResultStore.clear``.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from __future__ import annotations
 from typing import Any, Callable, Hashable
 
 from repro import obs
+from repro import store as _store
 
 _MISS = object()  # sentinel: lookup found nothing (None is a valid value)
 
@@ -42,12 +53,13 @@ _MISS = object()  # sentinel: lookup found nothing (None is a valid value)
 class SimCache:
     """One named memo table with hit/miss accounting."""
 
-    __slots__ = ("name", "hits", "misses", "_data")
+    __slots__ = ("name", "hits", "misses", "disk_hits", "_data")
 
     def __init__(self, name: str):
         self.name = name
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
         self._data: dict[Hashable, Any] = {}
 
     def lookup(self, key: Hashable) -> Any:
@@ -56,6 +68,17 @@ class SimCache:
             return _MISS
         value = self._data.get(key, _MISS)
         if value is _MISS:
+            disk = _store.active()
+            if disk is not None:
+                found, stored = disk.get(self.name, key)
+                if found:
+                    # promote: later lookups in this process stay in memory
+                    self._data[key] = stored
+                    self.hits += 1
+                    self.disk_hits += 1
+                    if obs.ACTIVE:
+                        obs.inc("cache_hits_total", cache=self.name)
+                    return stored
             self.misses += 1
             if obs.ACTIVE:
                 obs.inc("cache_misses_total", cache=self.name)
@@ -66,14 +89,21 @@ class SimCache:
         return value
 
     def store(self, key: Hashable, value: Any) -> None:
-        if _enabled:
-            self._data[key] = value
+        if not _enabled:
+            return
+        self._data[key] = value
+        disk = _store.active()
+        if disk is not None:
+            disk.put(self.name, key, value)
 
     def clear(self) -> None:
-        """Drop every entry and zero the counters (a fresh measurement)."""
+        """Drop every in-memory entry and zero the counters (a fresh
+        measurement).  An attached persistent store keeps its entries --
+        that is the point of it."""
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -115,9 +145,14 @@ def clear_all() -> None:
 
 
 def stats() -> dict[str, dict[str, int]]:
-    """Hit/miss/entry counts per cache, for reports and tests."""
+    """Hit/miss/entry counts per cache, for reports and tests.
+
+    ``disk_hits`` counts the subset of ``hits`` served by the attached
+    persistent store (always 0 when no store is attached).
+    """
     return {
-        name: {"hits": c.hits, "misses": c.misses, "entries": len(c)}
+        name: {"hits": c.hits, "misses": c.misses, "entries": len(c),
+               "disk_hits": c.disk_hits}
         for name, c in sorted(_registry.items())
     }
 

@@ -234,11 +234,6 @@ class ConfigurationChoice:
         return sorted(self.total_times.items(), key=lambda kv: kv[1])
 
 
-def _selection_job(phases: Sequence[Phase], factory: ClusterFactory,
-                   name: str) -> float:
-    return estimate_model(phases, factory, config_name=name).total_time_ch
-
-
 def select_configuration(phases: Sequence[Phase],
                          factories: dict[str, ClusterFactory],
                          parallel: bool = False,
@@ -253,29 +248,34 @@ def select_configuration(phases: Sequence[Phase],
     This is the paper's use case in Table XII: estimate BT-IO on
     configuration C and Finisterrae, choose Finisterrae.
 
-    ``parallel=True`` sweeps the candidate configurations concurrently
-    in worker processes (factories must be picklable; unpicklable
-    sweeps fall back to the serial path).
+    The replay requests of all candidate configurations are collected
+    into one batched plan (:mod:`repro.core.planner`) first, so only
+    unique (phase signature, configuration fingerprint) pairs are
+    executed -- identical phases share one IOR replication within *and*
+    across configurations.  ``parallel=True`` sweeps those unique
+    replays concurrently in worker processes (factories must be
+    picklable; unpicklable sweeps fall back to the serial path).
 
-    The resilience knobs mirror :func:`repro.core.sweep.sweep_map`:
-    ``retry`` absorbs transient faults per configuration; ``timeout_s``
-    bounds parallel jobs; ``raise_on_error=False`` records failed
-    configurations as ``inf`` in ``total_times`` (they can never win
-    the selection but the study survives); ``checkpoint_dir`` +
-    ``resume`` make an interrupted selection resumable.
+    The resilience knobs mirror :func:`repro.core.sweep.sweep_map` and
+    apply per unique replay: ``retry`` absorbs transient faults;
+    ``timeout_s`` bounds parallel jobs; ``raise_on_error=False``
+    records configurations depending on a failed replay as ``inf`` in
+    ``total_times`` (they can never win the selection but the study
+    survives); ``checkpoint_dir`` + ``resume`` make an interrupted
+    selection resumable (job names are deterministic).
     """
-    from .sweep import JobFailure, SweepJobError, sweep_map
+    from .planner import build_replay_plan
+    from .sweep import JobFailure, SweepJobError
 
-    totals = sweep_map(
-        _selection_job,
-        {name: (tuple(phases), factory, name)
-         for name, factory in factories.items()},
+    plan = build_replay_plan(tuple(phases), factories)
+    reports = plan.execute(
         parallel=parallel, max_workers=max_workers,
         retry=retry, timeout_s=timeout_s, raise_on_error=raise_on_error,
         checkpoint_dir=checkpoint_dir, resume=resume)
-    totals = {name: (total if not isinstance(total, JobFailure)
+    totals = {name: (report.total_time_ch
+                     if not isinstance(report, JobFailure)
                      else float("inf"))
-              for name, total in totals.items()}
+              for name, report in reports.items()}
     if all(t == float("inf") for t in totals.values()):
         raise SweepJobError("selection",
                             "every configuration's estimate failed", "")

@@ -24,7 +24,7 @@ runs in three steps per (rank, file):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from operator import and_, eq, sub
+from operator import and_, attrgetter, eq, sub
 from typing import Callable, Sequence
 
 from repro.tracer.tracefile import TraceRecord
@@ -450,6 +450,12 @@ def _scan(lists, bursts, reps_fn: Callable[[int, int, int], int],
     rank, fid, op, off, tick, rs, time, dur, aoff = lists
     kinds = ["write" if "write" in name else "read" for name in op_table]
     entries: list[LAPEntry] = []
+    # LAPOp/LAPEntry are constructed tens of thousands of times per
+    # trace; frozen-dataclass __init__ pays one object.__setattr__ per
+    # field.  __new__ + a bulk __dict__.update builds the identical
+    # object (plain non-slots dataclasses: eq/hash/repr all read the
+    # same __dict__) at a fraction of the cost.
+    new_op, new_entry = LAPOp.__new__, LAPEntry.__new__
 
     def emit(i: int, best_u: int, best_r: int) -> int:
         end = i + best_u * best_r
@@ -457,15 +463,18 @@ def _scan(lists, bursts, reps_fn: Callable[[int, int, int], int],
         for j in range(best_u):
             p = i + j
             code = op[p]
-            ops.append(LAPOp(
+            o = new_op(LAPOp)
+            o.__dict__.update(
                 op=op_table[code],
                 kind=kinds[code],
                 request_size=rs[p],
                 disp=off[p + best_u] - off[p] if best_r > 1 else 0,
                 init_offset=off[p],
                 init_abs_offset=aoff[p],
-            ))
-        entries.append(LAPEntry(
+            )
+            ops.append(o)
+        en = new_entry(LAPEntry)
+        en.__dict__.update(
             rank=rank[i],
             file_id=fid[i],
             rep=best_r,
@@ -476,7 +485,8 @@ def _scan(lists, bursts, reps_fn: Callable[[int, int, int], int],
             # sum() over the list slice accumulates left-to-right in
             # the same order as the record path: bit-identical floats
             total_duration=sum(dur[i:end]),
-        ))
+        )
+        entries.append(en)
         return end
 
     for s, e in bursts:
@@ -508,7 +518,7 @@ def _scan(lists, bursts, reps_fn: Callable[[int, int, int], int],
                         if r >= 3 and r * u > best_r * best_u:
                             best_u, best_r = u, r
                 i = emit(i, best_u, best_r)
-    entries.sort(key=lambda en: (en.rank, en.file_id, en.first_tick))
+    entries.sort(key=attrgetter("rank", "file_id", "first_tick"))
     return entries
 
 

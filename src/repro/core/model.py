@@ -84,7 +84,29 @@ class IOModel:
     def from_columns(cls, columns, metadata: AppMetadata, nprocs: int,
                      app_name: str = "app", tick_tol: int = DEFAULT_TICK_TOL,
                      gap: int = 1) -> "IOModel":
-        """Characterization over a ``TraceColumns`` (no record objects)."""
+        """Characterization over a ``TraceColumns`` (no record objects).
+
+        When a persistent store is attached (:mod:`repro.store`) the
+        extracted model is memoized in the ``"characterize"`` cache
+        under the trace's content digest, so re-characterizing the same
+        trace -- across processes -- warm-starts from disk.  The
+        ``"records"`` path never consults the cache: it stays the cold
+        reference implementation.
+        """
+        from repro import store as _store
+
+        from . import cache as simcache
+
+        key = None
+        if _store.active() is not None:
+            # metadata enters as canonical JSON (dicts are unhashable)
+            meta = json.dumps(metadata.to_dict(), sort_keys=True) \
+                if metadata is not None else None
+            key = ("from_columns", columns.content_digest(), meta,
+                   nprocs, app_name, tick_tol, gap)
+            hit = simcache.cache("characterize").lookup(key)
+            if hit is not simcache._MISS:
+                return hit
         with obs.span("characterize.model", cat="pipeline",
                       method="columnar"):
             t0 = _time.perf_counter()
@@ -95,6 +117,8 @@ class IOModel:
         if obs.ACTIVE:
             _observe_characterization("columnar", len(columns), len(entries),
                                       _time.perf_counter() - t0)
+        if key is not None:
+            simcache.cache("characterize").store(key, model)
         return model
 
     @classmethod

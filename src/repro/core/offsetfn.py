@@ -107,17 +107,26 @@ def fit_offsets(pairs: Mapping[int, int] | Sequence[tuple[int, int]]) -> OffsetF
     return OffsetFunction(slope=slope, intercept=intercept, table=tuple(items))
 
 
+#: Below this many pairs the ndarray construction/lexsort overhead
+#: exceeds the whole pure-Python fit (measured ~3x slower at n=31), so
+#: small fits -- one per phase op, the _make_phase hot path -- stay pure.
+_NUMPY_MIN_N = 128
+
+
 def fit_offsets_arrays(ranks: Sequence[int],
                        offsets: Sequence[int]) -> OffsetFunction:
     """:func:`fit_offsets` over parallel rank/offset arrays.
 
-    Vectorizes the exactness check with numpy when the products stay
-    comfortably inside int64 (trace offsets are file offsets, so an
-    overflow means petabyte-scale files times thousands of ranks --
-    checked anyway, with a fallback to exact Python integers).
+    Vectorizes the exactness check with numpy when the pair count is
+    large enough to amortize array setup (``_NUMPY_MIN_N``) and the
+    products stay comfortably inside int64 (trace offsets are file
+    offsets, so an overflow means petabyte-scale files times thousands
+    of ranks -- checked anyway, with a fallback to exact Python
+    integers).  Both paths sort pairs the same way, so the fitted
+    function and its table are identical whichever path runs.
     """
     n = len(ranks)
-    if n > 2 and numpy_enabled():
+    if n > 2 and n >= _NUMPY_MIN_N and numpy_enabled():
         try:
             r = np.asarray(ranks, dtype=np.int64)
             o = np.asarray(offsets, dtype=np.int64)

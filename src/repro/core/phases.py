@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from operator import attrgetter
 from statistics import median
 from typing import Mapping, Sequence
 
@@ -133,10 +134,19 @@ def identify_phases(
     ``tick_tol`` of the cluster seed's first tick.  Clusters become
     phases ordered by virtual start time.
     """
+    # file_id -> (group, unique) is asked once per LAP entry; the trace
+    # has a handful of files, so resolve each id exactly once.
+    _ginfo: dict[int, tuple[str, bool]] = {}
+
     def groupinfo(file_id: int) -> tuple[str, bool]:
-        if file_groups and file_id in file_groups:
-            return file_groups[file_id]
-        return (f"file{file_id}", False)
+        info = _ginfo.get(file_id)
+        if info is None:
+            if file_groups and file_id in file_groups:
+                info = file_groups[file_id]
+            else:
+                info = (f"file{file_id}", False)
+            _ginfo[file_id] = info
+        return info
 
     buckets: dict[tuple, list[LAPEntry]] = {}
     for e in entries:
@@ -146,7 +156,7 @@ def identify_phases(
 
     clusters: list[tuple[tuple, list[LAPEntry]]] = []
     for sig, bucket in buckets.items():
-        bucket = sorted(bucket, key=lambda e: (e.first_tick, e.rank))
+        bucket = sorted(bucket, key=attrgetter("first_tick", "rank"))
         n = len(bucket)
         used = [False] * n
         # The bucket is tick-sorted, so nothing beyond the seed's tick
@@ -194,7 +204,7 @@ def identify_phases(
 
 def _make_phase(phase_id: int, sig: tuple, members: list[LAPEntry],
                 groupinfo) -> Phase:
-    members = sorted(members, key=lambda e: e.rank)
+    members = sorted(members, key=attrgetter("rank"))
     group, unique = groupinfo(members[0].file_id)
     nops = len(members[0].ops)
     ranks = [e.rank for e in members]

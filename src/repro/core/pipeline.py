@@ -24,6 +24,7 @@ from repro.faults.resilience import RetryPolicy
 from repro.simmpi.engine import IdealPlatform
 from repro.tracer.hooks import TraceBundle, trace_run
 
+from . import cache as simcache
 from .estimate import (
     ClusterFactory,
     EstimateReport,
@@ -35,9 +36,37 @@ from .estimate import (
     system_usage,
 )
 from .model import IOModel
+from .planner import build_replay_plan
 from .sweep import SweepJobError, sweep_map
 
 MB = 1024 * 1024
+
+
+def _trace_key(stage: str, fp, program: Callable, nprocs: int, args: tuple,
+               *extras) -> tuple | None:
+    """Memo key for a traced run, or None when trace caching is off.
+
+    Tracing an application is the single most expensive step of a study,
+    and it is a pure function of (program, process count, arguments,
+    platform).  The result is memoized in the ``"trace"`` cache **only
+    while a persistent store is attached** -- an in-memory-only trace
+    cache would just hide repeated work inside one process, whereas the
+    warm-start story is about the *next* process.  The program enters
+    the disk key through its code-object digest, so editing the
+    application source invalidates its cached traces automatically.
+    """
+    from repro import store as _store
+
+    if _store.active() is None:
+        return None
+    if fp is None:
+        return None  # platform opted out of fingerprinting
+    key = ("trace_run", stage, program, nprocs, tuple(args), fp) + extras
+    try:
+        hash(key)
+    except TypeError:
+        return None  # unhashable arguments opt out of memoization
+    return key
 
 
 def characterize_app(program: Callable, nprocs: int, *args,
@@ -54,12 +83,31 @@ def characterize_app(program: Callable, nprocs: int, *args,
     ``method`` selects the model-extraction path: ``"columnar"`` (the
     vectorized default) or ``"records"`` (the per-record reference
     implementation; identical models, kept for cross-checking).
+
+    With a persistent store attached (:mod:`repro.store`) the traced
+    run and extracted model are memoized, so re-characterizing the same
+    application warm-starts from disk.
     """
     with obs.span("pipeline.characterize", cat="pipeline", app=app_name,
                   np=nprocs) as sp:
-        bundle = trace_run(program, nprocs, platform or IdealPlatform(), *args)
+        plat = platform or IdealPlatform()
+        key = _trace_key("characterize", simcache.platform_fingerprint(plat),
+                         program, nprocs, args, app_name, tick_tol, method)
+        if key is not None:
+            hit = simcache.cache("trace").lookup(key)
+            if hit is not simcache._MISS:
+                model, hit_nprocs, metadata, columns = hit
+                bundle = TraceBundle(hit_nprocs, columns=columns,
+                                     metadata=metadata)
+                sp.annotate(nphases=model.nphases, events=bundle.nevents,
+                            cached=True)
+                return model, bundle
+        bundle = trace_run(program, nprocs, plat, *args)
         model = build_model(bundle, app_name=app_name, tick_tol=tick_tol,
                             method=method)
+        if key is not None:
+            simcache.cache("trace").store(
+                key, (model, bundle.nprocs, bundle.metadata, bundle.columns))
         sp.annotate(nphases=model.nphases, events=bundle.nevents)
     return model, bundle
 
@@ -70,6 +118,44 @@ def build_model(bundle: TraceBundle, app_name: str = "app",
     """Extract the I/O abstract model from an existing trace bundle."""
     return IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol,
                               gap=gap, method=method)
+
+
+def _characterize_bundle_job(columns, metadata, nprocs: int, app_name: str,
+                             tick_tol: int, gap: int, method: str) -> IOModel:
+    """Worker-side body of one bundle's model extraction."""
+    bundle = TraceBundle(nprocs, columns=columns, metadata=metadata)
+    return IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol,
+                              gap=gap, method=method)
+
+
+def characterize_bundles(bundles: dict[str, TraceBundle], *,
+                         tick_tol: int = 16, gap: int = 1,
+                         method: str = "columnar",
+                         parallel: bool = False,
+                         max_workers: int | None = None,
+                         raise_on_error: bool = True,
+                         retry: RetryPolicy | None = None,
+                         timeout_s: float | None = None,
+                         checkpoint_dir: str | None = None,
+                         resume: bool = False) -> dict[str, IOModel]:
+    """Extract models from many trace bundles in one sweep.
+
+    With ``parallel=True`` the bundles' column arrays are published to
+    POSIX shared memory (:mod:`repro.tracer.shm`) and each worker
+    attaches zero-copy instead of unpickling its own copy of the trace
+    -- the dominant serialization cost of a multi-trace
+    characterization sweep.  Serial and unpicklable sweeps behave
+    exactly like calling :func:`build_model` per bundle.  The
+    resilience knobs mirror :func:`repro.core.sweep.sweep_map`.
+    """
+    jobs = {name: (bundle.columns, bundle.metadata, bundle.nprocs,
+                   name, tick_tol, gap, method)
+            for name, bundle in bundles.items()}
+    return sweep_map(_characterize_bundle_job, jobs,
+                     parallel=parallel, max_workers=max_workers,
+                     raise_on_error=raise_on_error, retry=retry,
+                     timeout_s=timeout_s, checkpoint_dir=checkpoint_dir,
+                     resume=resume)
 
 
 def estimate_on(model: IOModel, cluster_factory: ClusterFactory,
@@ -92,9 +178,17 @@ def measure_on(program: Callable, nprocs: int, *args,
     """Stage 3 (validation): run the app on the target and measure phases."""
     with obs.span("pipeline.measure", cat="pipeline", app=app_name,
                   np=nprocs):
+        key = _trace_key("measure", simcache.factory_fingerprint(cluster_factory),
+                         program, nprocs, args, app_name, tick_tol)
+        if key is not None:
+            hit = simcache.cache("trace").lookup(key)
+            if hit is not simcache._MISS:
+                return measure_phases(hit.phases, config_name=app_name), hit
         cluster = cluster_factory()
         bundle = trace_run(program, nprocs, cluster, *args)
         model = IOModel.from_trace(bundle, app_name=app_name, tick_tol=tick_tol)
+        if key is not None:
+            simcache.cache("trace").store(key, model)
         return measure_phases(model.phases, config_name=app_name), model
 
 
@@ -196,12 +290,6 @@ def characterize_peaks_for(cluster_factory: ClusterFactory) -> dict[str, float]:
     }
 
 
-def _estimate_job(model: IOModel, factory: ClusterFactory,
-                  name: str) -> EstimateReport:
-    """Worker-side body of one configuration's estimation."""
-    return estimate_model(model.phases, factory, config_name=name)
-
-
 def full_study(program: Callable, nprocs: int, *args,
                cluster_factories: dict[str, ClusterFactory],
                app_name: str = "app",
@@ -220,27 +308,29 @@ def full_study(program: Callable, nprocs: int, *args,
     validate (measure) on some of them.  Returns a dict with the model,
     per-config estimates, measurements, evaluations and the selection.
 
-    ``parallel=True`` estimates the configurations concurrently in
+    Estimation goes through the replay planner
+    (:mod:`repro.core.planner`): the replay requests of all
+    configurations are deduplicated up front, so only unique
+    (phase signature, configuration fingerprint) pairs are executed.
+    ``parallel=True`` sweeps those unique replays concurrently in
     worker processes (factories must be picklable, i.e. module-level;
     unpicklable sweeps fall back to the serial path).
 
-    Resilience (see :mod:`repro.core.sweep`): ``retry`` re-runs a
-    configuration's estimate on transient faults with bounded backoff;
-    ``timeout_s`` bounds each parallel job; ``raise_on_error=False``
-    keeps going past failed configurations (they appear as
-    :class:`~repro.core.sweep.JobFailure` entries in ``estimates`` and
-    are excluded from the selection); ``checkpoint_dir``/``resume``
-    persist each completed estimate atomically so a killed study can be
-    resumed bit-identically.
+    Resilience (see :mod:`repro.core.sweep`), applied per unique
+    replay: ``retry`` re-runs it on transient faults with bounded
+    backoff; ``timeout_s`` bounds each parallel job;
+    ``raise_on_error=False`` keeps going past failures (every dependent
+    configuration appears as a :class:`~repro.core.sweep.JobFailure`
+    entry in ``estimates`` and is excluded from the selection);
+    ``checkpoint_dir``/``resume`` persist each completed replay
+    atomically so a killed study can be resumed bit-identically.
     """
     with obs.span("pipeline.full_study", cat="pipeline", app=app_name,
                   np=nprocs) as sp:
         model, bundle = characterize_app(program, nprocs, *args,
                                          app_name=app_name, tick_tol=tick_tol)
-        estimates = sweep_map(
-            _estimate_job,
-            {name: (model, factory, name)
-             for name, factory in cluster_factories.items()},
+        plan = build_replay_plan(model.phases, cluster_factories)
+        estimates = plan.execute(
             parallel=parallel, max_workers=max_workers,
             retry=retry, timeout_s=timeout_s,
             raise_on_error=raise_on_error,

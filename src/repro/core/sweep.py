@@ -129,10 +129,79 @@ class _ChaosKiller:
             os._exit(CHAOS_EXIT_CODE)
 
 
+# -- zero-copy trace sharing ---------------------------------------------------
+
+def _share_trace_args(jobs: Mapping[str, tuple]) -> tuple[dict, list]:
+    """Swap TraceColumns arguments for shared-memory handles.
+
+    Each distinct columns object is published once
+    (:mod:`repro.tracer.shm`); every job referencing it gets the same
+    tiny handle, so a parallel characterization sweep ships the trace
+    to workers without pickling it per process.  Returns the original
+    mapping untouched (and no handles) when nothing is substitutable.
+    """
+    from repro.tracer import shm as _shm
+    from repro.tracer.columns import TraceColumns
+
+    if not _shm.shm_available():
+        return dict(jobs), []
+    shared: dict[int, Any] = {}
+    handles: list[Any] = []
+    out: dict[str, tuple] = {}
+    changed = False
+    for name, args in jobs.items():
+        new_args = []
+        for a in args:
+            if isinstance(a, TraceColumns):
+                handle = shared.get(id(a))
+                if handle is None:
+                    handle = shared[id(a)] = _shm.share_columns(a)
+                    handles.append(handle)
+                new_args.append(handle)
+                changed = True
+            else:
+                new_args.append(a)
+        out[name] = tuple(new_args)
+    if not changed:
+        return dict(jobs), []
+    return out, handles
+
+
+def _release_shared(handles: list) -> None:
+    if not handles:
+        return
+    from repro.tracer import shm as _shm
+
+    for handle in handles:
+        _shm.release(handle)
+
+
+def _attach_shared_args(args: tuple) -> tuple:
+    """Worker-side inverse of :func:`_share_trace_args`."""
+    from repro.tracer.shm import SharedColumns, attach_columns
+
+    if not any(isinstance(a, SharedColumns) for a in args):
+        return args
+    return tuple(attach_columns(a) if isinstance(a, SharedColumns) else a
+                 for a in args)
+
+
 # -- job execution -------------------------------------------------------------
 
-def _run_job(fn: Callable, args: tuple, retry: RetryPolicy | None) -> Any:
-    """Worker-side body: one job, optionally under a retry policy."""
+def _run_job(fn: Callable, args: tuple, retry: RetryPolicy | None,
+             store_root: str | None = None) -> Any:
+    """Worker-side body: one job, optionally under a retry policy.
+
+    ``store_root`` re-attaches the parent's persistent result store in
+    spawned workers (forked ones inherit it); shared-memory trace
+    handles in ``args`` are materialized back into columns here.
+    """
+    if store_root is not None:
+        from repro import store as _result_store
+
+        if _result_store.active() is None:
+            _result_store.attach(store_root)
+    args = _attach_shared_args(args)
     if retry is None:
         return fn(*args)
     return retry_call(fn, *args, policy=retry)
@@ -184,11 +253,24 @@ def sweep_map(fn: Callable, jobs: Mapping[str, tuple], parallel: bool = False,
     chaos = _ChaosKiller() if ckpt is not None else None
 
     use_parallel = parallel and len(todo) > 1
+    shared_handles: list = []
+    store_root: str | None = None
     if use_parallel:
+        # Publish any TraceColumns argument to shared memory first: the
+        # picklability gate then checks the cheap handles, not the trace.
+        substituted, shared_handles = _share_trace_args(todo)
         try:
-            pickle.dumps((fn, tuple(todo.values()), retry))
+            pickle.dumps((fn, tuple(substituted.values()), retry))
+            todo = substituted
         except Exception:
             use_parallel = False
+            _release_shared(shared_handles)
+            shared_handles = []
+        else:
+            from repro import store as _result_store
+
+            active = _result_store.active()
+            store_root = str(active.root) if active is not None else None
 
     fresh: dict[str, Any] = {}
     if not use_parallel:
@@ -204,22 +286,27 @@ def sweep_map(fn: Callable, jobs: Mapping[str, tuple], parallel: bool = False,
             fresh[name] = _resolve(name, failure, result, raise_on_error)
     else:
         workers = max_workers or min(len(todo), os.cpu_count() or 1)
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {name: pool.submit(_run_job, fn, args, retry)
-                       for name, args in todo.items()}
-            for name, fut in futures.items():
-                failure, result = None, None
-                try:
-                    result = fut.result(timeout=timeout_s)
-                except concurrent.futures.TimeoutError as exc:
-                    fut.cancel()
-                    failure = _failure(name, exc, timed_out=True)
-                except Exception as exc:
-                    failure = _failure(name, exc)
-                if failure is None and ckpt is not None:
-                    _store_checkpoint(ckpt, name, result)
-                    chaos.note_checkpoint()
-                fresh[name] = _resolve(name, failure, result, raise_on_error)
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {name: pool.submit(_run_job, fn, args, retry,
+                                             store_root)
+                           for name, args in todo.items()}
+                for name, fut in futures.items():
+                    failure, result = None, None
+                    try:
+                        result = fut.result(timeout=timeout_s)
+                    except concurrent.futures.TimeoutError as exc:
+                        fut.cancel()
+                        failure = _failure(name, exc, timed_out=True)
+                    except Exception as exc:
+                        failure = _failure(name, exc)
+                    if failure is None and ckpt is not None:
+                        _store_checkpoint(ckpt, name, result)
+                        chaos.note_checkpoint()
+                    fresh[name] = _resolve(name, failure, result,
+                                           raise_on_error)
+        finally:
+            _release_shared(shared_handles)
 
     # Insertion order of `jobs`, resumed results included.
     return {name: done[name] if name in done else fresh[name]

@@ -125,6 +125,19 @@ def _preregister(reg: MetricsRegistry) -> None:
                 "Simulation memo-cache hits (repro.core.cache)", ("cache",))
     reg.counter("cache_misses_total",
                 "Simulation memo-cache misses (repro.core.cache)", ("cache",))
+    reg.counter("store_hits_total",
+                "Persistent result-store hits (repro.store)", ("cache",))
+    reg.counter("store_misses_total",
+                "Persistent result-store misses (repro.store)", ("cache",))
+    reg.counter("store_writes_total",
+                "Entries written to the persistent result store", ("cache",))
+    reg.counter("store_evictions_total",
+                "Persistent-store entries evicted (schema mismatch/corrupt)",
+                ("cache",))
+    reg.counter("replay_plan_requests_total",
+                "Phase-replay requests collected by the replay planner")
+    reg.counter("replay_plan_unique_total",
+                "Unique (phase, config) replays the planner executed")
     reg.counter("characterize_rows_total",
                 "Trace rows consumed by model extraction", ("method",))
     reg.counter("characterize_lap_entries_total",

@@ -78,6 +78,7 @@ class ProfileSession:
             self._stage_table(),
             self._io_table(),
             self._wait_table(),
+            self._cache_table(),
         ]))
 
     def _stage_table(self) -> str:
@@ -143,3 +144,25 @@ class ProfileSession:
                        "mean wait ms"],
                       [row for _, row in body[:top]],
                       title=f"Busiest queue waits (top {top})")
+
+    def _cache_table(self) -> str:
+        """One line per memo registry: hits, misses, hit-rate, tier."""
+        from repro import store
+        from repro.core import cache as simcache
+
+        persistent = store.active() is not None
+        stats = simcache.stats()
+        body = []
+        for name in sorted(stats):
+            st = stats[name]
+            looked = st["hits"] + st["misses"]
+            if looked == 0 and st["entries"] == 0:
+                continue
+            rate = f"{100.0 * st['hits'] / looked:.1f}%" if looked else "-"
+            body.append([name, st["hits"], st["misses"], rate,
+                         st["disk_hits"],
+                         "persistent" if persistent else "in-memory"])
+        if not body:
+            return ""
+        return render(["cache", "hits", "misses", "hit rate", "disk hits",
+                       "tier"], body, title="Result caches")

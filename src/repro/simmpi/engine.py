@@ -117,6 +117,10 @@ class IdealPlatform:
         self.bw = float(bw_bytes_per_s)
         self.latency = float(latency)
 
+    def fingerprint(self) -> tuple:
+        """Structural identity for memoization (see repro.core.cache)."""
+        return ("IdealPlatform", self.bw, self.latency)
+
     def service_io(self, req: IORequest) -> float:
         return self.latency + req.nbytes / self.bw
 

@@ -1,0 +1,83 @@
+"""repro.store -- persistent, content-addressed simulation results.
+
+The in-process memo registry (:mod:`repro.core.cache`) makes repeated
+work inside one process free; this package makes it free *across*
+processes and process exits.  When a store is attached, every named
+``SimCache`` transparently falls through to it on an in-memory miss and
+writes through to it on insert, so IOR/IOzone/replay/characterization
+results warm-start the next run -- the second ``full_study`` of the
+same application reads everything from disk.
+
+Attachment is process-global and explicit::
+
+    from repro import store
+
+    store.attach(".repro-cache")     # or: export REPRO_CACHE_DIR=...
+    ...                              # run studies; results persist
+    store.detach()                   # back to in-memory-only
+
+The ``REPRO_CACHE_DIR`` environment variable attaches lazily on first
+use, which is how forked/spawned ``sweep_map`` workers (and the CI
+warm-cache job) share one store without plumbing.  Writes are atomic
+(write-temp-then-rename), so concurrent workers race benignly: last
+writer wins with a complete entry, readers never see a torn one.
+
+Keys are the memo registry's structural keys run through the canonical
+encoder of :mod:`repro.store.keys`; invalidation is by schema version
+(:data:`~repro.store.keys.SCHEMA_VERSION`) -- see docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .disk import ResultStore
+from .keys import SCHEMA_VERSION, UnencodableKey, canonical_bytes, key_digest
+
+__all__ = [
+    "ResultStore", "SCHEMA_VERSION", "UnencodableKey",
+    "canonical_bytes", "key_digest",
+    "ENV_VAR", "DEFAULT_DIRNAME", "attach", "detach", "active",
+    "default_root",
+]
+
+ENV_VAR = "REPRO_CACHE_DIR"
+DEFAULT_DIRNAME = ".repro-cache"
+
+_active: ResultStore | None = None
+#: True after an explicit detach(): suppresses the env-var fallback so
+#: "turn the store off" sticks even with REPRO_CACHE_DIR exported.
+_detached: bool = False
+
+
+def default_root() -> Path:
+    """Where the store lives absent configuration: ``./.repro-cache``."""
+    return Path(os.environ.get(ENV_VAR) or DEFAULT_DIRNAME)
+
+
+def attach(root: str | Path | None = None) -> ResultStore:
+    """Attach (or re-attach) the process-wide store; returns it."""
+    global _active, _detached
+    _active = ResultStore(Path(root) if root is not None else default_root())
+    _detached = False
+    return _active
+
+
+def detach() -> None:
+    """Drop the store: caches revert to in-memory-only behaviour."""
+    global _active, _detached
+    _active = None
+    _detached = True
+
+
+def active() -> ResultStore | None:
+    """The attached store, if any; lazily honors ``REPRO_CACHE_DIR``."""
+    if _active is not None:
+        return _active
+    if _detached:
+        return None
+    root = os.environ.get(ENV_VAR)
+    if root:
+        return attach(root)
+    return None

@@ -1,0 +1,168 @@
+"""Disk-backed, content-addressed result store.
+
+Layout (sharded per-entry files, so concurrent ``sweep_map`` workers
+never contend on one database file)::
+
+    <root>/
+      <cache>/                 ior / iozone / replay / characterize / trace
+        <dd>/                  first two hex digits of the key digest
+          <digest>.json        envelope: schema, cache, digest, payload
+          <digest>.bin         sidecar for payloads > INLINE_LIMIT bytes
+
+Every write is an atomic write-temp-then-rename (:mod:`repro.ioutil`),
+so a reader -- including a worker in another process -- sees either the
+complete entry or nothing; a killed writer leaves at worst an orphaned
+``*.tmp*`` file.  The sidecar (when present) is written *before* the
+envelope that references it, so an envelope on disk always points at a
+complete payload.
+
+Values are pickled (results are plain dataclasses of floats, ints and
+``Fraction`` coefficients; the round-trip is bit-exact).  Entries whose
+embedded ``schema`` does not match :data:`~repro.store.keys.SCHEMA_VERSION`
+are evicted on read -- the invalidation rule is "bump the version,
+old entries self-destruct lazily".  Only open cache directories you
+trust: unpickling executes the payload's reduction callables.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from pathlib import Path
+
+from repro import obs
+from repro.ioutil import atomic_write_bytes, atomic_write_text
+
+from .keys import SCHEMA_VERSION, UnencodableKey, key_digest
+
+#: Payloads up to this many (pickle) bytes are inlined into the JSON
+#: envelope (base64); larger ones go to a raw ``.bin`` sidecar so warm
+#: reads of big values (characterized models) skip the base64+JSON tax.
+INLINE_LIMIT = 32 * 1024
+
+_MISS = (False, None)
+
+
+class ResultStore:
+    """One cache directory; safe for concurrent multi-process use."""
+
+    def __init__(self, root: str | Path, schema: int = SCHEMA_VERSION):
+        self.root = Path(root)
+        self.schema = schema
+
+    # -- paths -----------------------------------------------------------------
+    def _entry_path(self, cache: str, digest: str) -> Path:
+        return self.root / cache / digest[:2] / f"{digest}.json"
+
+    def digest(self, cache: str, key) -> str | None:
+        """Content address of (cache, key), or None if the key opts out."""
+        try:
+            return key_digest(cache, key, schema=self.schema)
+        except UnencodableKey:
+            return None
+
+    # -- read / write ----------------------------------------------------------
+    def get(self, cache: str, key) -> tuple[bool, object]:
+        """``(True, value)`` on a hit, ``(False, None)`` otherwise."""
+        digest = self.digest(cache, key)
+        if digest is None:
+            return _MISS
+        path = self._entry_path(cache, digest)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError):
+            if obs.ACTIVE:
+                obs.inc("store_misses_total", cache=cache)
+            return _MISS
+        if envelope.get("schema") != self.schema:
+            self._evict(cache, path)
+            return _MISS
+        try:
+            if "payload" in envelope:
+                blob = base64.b64decode(envelope["payload"])
+            else:
+                blob = (path.parent / envelope["payload_file"]).read_bytes()
+            value = pickle.loads(blob)
+        except Exception:
+            # Torn sidecar, stale class layout, ... -- treat as absent.
+            self._evict(cache, path)
+            return _MISS
+        if obs.ACTIVE:
+            obs.inc("store_hits_total", cache=cache)
+        return True, value
+
+    def put(self, cache: str, key, value) -> bool:
+        """Persist one result; False when key or value opt out."""
+        digest = self.digest(cache, key)
+        if digest is None:
+            return False
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        path = self._entry_path(cache, digest)
+        envelope = {"schema": self.schema, "cache": cache, "key": digest}
+        if len(blob) <= INLINE_LIMIT:
+            envelope["payload"] = base64.b64encode(blob).decode("ascii")
+        else:
+            sidecar = path.with_suffix(".bin")
+            atomic_write_bytes(sidecar, blob)
+            envelope["payload_file"] = sidecar.name
+        atomic_write_text(path, json.dumps(envelope))
+        if obs.ACTIVE:
+            obs.inc("store_writes_total", cache=cache)
+        return True
+
+    def _evict(self, cache: str, path: Path) -> None:
+        for p in (path.with_suffix(".bin"), path):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+        if obs.ACTIVE:
+            obs.inc("store_evictions_total", cache=cache)
+
+    # -- maintenance -----------------------------------------------------------
+    def caches(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-cache ``{"entries": N, "bytes": M}`` from a directory walk."""
+        out: dict[str, dict[str, int]] = {}
+        for cache in self.caches():
+            entries = nbytes = 0
+            for p in (self.root / cache).glob("*/*"):
+                if p.suffix == ".json":
+                    entries += 1
+                nbytes += p.stat().st_size
+            out[cache] = {"entries": entries, "bytes": nbytes}
+        return out
+
+    def clear(self, cache: str | None = None) -> int:
+        """Delete every entry (of one cache, or all); returns the count."""
+        removed = 0
+        targets = [cache] if cache is not None else self.caches()
+        for name in targets:
+            base = self.root / name
+            if not base.is_dir():
+                continue
+            for p in sorted(base.glob("*/*")):
+                if p.suffix == ".json":
+                    removed += 1
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+            for shard in sorted(base.iterdir()):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+            try:
+                base.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,141 @@
+"""Deterministic key encoding for the persistent result store.
+
+The in-process memo registry (:mod:`repro.core.cache`) keys entries by
+structural value: tuples of primitives, frozen dataclasses
+(``IORParams``, ``PhaseOp``), ``Fraction`` coefficients, cluster
+fingerprints.  Python's ``hash()`` of those keys is salted per process
+(``PYTHONHASHSEED``), so a disk store needs its own canonical byte
+encoding whose digest is bit-identical in every interpreter that ever
+opens the cache directory.
+
+:func:`canonical_bytes` is that encoding: a tagged, length-prefixed,
+recursive serialization with a defined order for unordered containers.
+Anything it cannot encode deterministically (open files, ad-hoc test
+doubles, lambdas) raises :class:`UnencodableKey` -- callers treat that
+as "this entry opts out of persistence", never as an error.
+
+Functions encode as ``(module, qualname, code digest)``: the digest
+covers the bytecode, constants and names recursively, so editing an
+application program invalidates every trace/model entry keyed by it
+without a manual cache clear.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from fractions import Fraction
+
+#: Bump when the *meaning* of stored values changes (new fields with
+#: different semantics, changed units, ...).  Every entry embeds the
+#: schema version it was written under; a mismatch on read evicts the
+#: entry instead of deserializing it.
+SCHEMA_VERSION = 1
+
+
+class UnencodableKey(TypeError):
+    """A key contains a value with no deterministic byte encoding."""
+
+
+def _code_digest(fn) -> bytes:
+    """Digest of a function's code object, nested code included."""
+    h = hashlib.sha256()
+
+    def feed(code) -> None:
+        h.update(code.co_code)
+        h.update(repr(code.co_names).encode())
+        h.update(repr(code.co_varnames).encode())
+        h.update(str(code.co_argcount).encode())
+        for const in code.co_consts:
+            if hasattr(const, "co_code"):  # nested function/comprehension
+                feed(const)
+            else:
+                h.update(repr(const).encode())
+
+    feed(fn.__code__)
+    return h.hexdigest().encode()
+
+
+def canonical_bytes(obj) -> bytes:
+    """Deterministic, process-independent byte encoding of a key."""
+    out: list[bytes] = []
+    _encode(obj, out)
+    return b"".join(out)
+
+
+def _encode(obj, out: list[bytes]) -> None:
+    if obj is None:
+        out.append(b"N;")
+    elif obj is True:
+        out.append(b"T;")
+    elif obj is False:
+        out.append(b"F;")
+    elif isinstance(obj, int):
+        out.append(b"i%d;" % obj)
+    elif isinstance(obj, float):
+        # repr round-trips doubles exactly and is stable across platforms
+        out.append(b"f" + repr(obj).encode() + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(b"s%d:" % len(raw))
+        out.append(raw)
+    elif isinstance(obj, bytes):
+        out.append(b"b%d:" % len(obj))
+        out.append(obj)
+    elif isinstance(obj, Fraction):
+        out.append(b"R%d/%d;" % (obj.numerator, obj.denominator))
+    elif isinstance(obj, tuple):
+        out.append(b"(")
+        for item in obj:
+            _encode(item, out)
+        out.append(b")")
+    elif isinstance(obj, list):
+        out.append(b"[")
+        for item in obj:
+            _encode(item, out)
+        out.append(b"]")
+    elif isinstance(obj, dict):
+        # order-independent: entries sorted by their encoded keys
+        items = sorted((canonical_bytes(k), v) for k, v in obj.items())
+        out.append(b"{")
+        for kb, v in items:
+            out.append(kb)
+            _encode(v, out)
+        out.append(b"}")
+    elif isinstance(obj, (set, frozenset)):
+        out.append(b"<")
+        for kb in sorted(canonical_bytes(x) for x in obj):
+            out.append(kb)
+        out.append(b">")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        out.append(b"D")
+        _encode(f"{cls.__module__}.{cls.__qualname__}", out)
+        out.append(b"(")
+        for f in dataclasses.fields(obj):
+            _encode(f.name, out)
+            _encode(getattr(obj, f.name), out)
+        out.append(b")")
+    elif callable(obj) and hasattr(obj, "__code__"):
+        out.append(b"C")
+        _encode(getattr(obj, "__module__", "") or "", out)
+        _encode(getattr(obj, "__qualname__", obj.__name__), out)
+        out.append(_code_digest(obj))
+        out.append(b";")
+    else:
+        raise UnencodableKey(
+            f"no canonical encoding for {type(obj).__qualname__}")
+
+
+def key_digest(cache_name: str, key, schema: int = SCHEMA_VERSION) -> str:
+    """Content address of one (cache, key) pair: a hex sha256.
+
+    The digest covers the schema version, so a bumped schema addresses a
+    disjoint key space even before the per-entry eviction check runs.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-store:%d\x00" % schema)
+    h.update(cache_name.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(canonical_bytes(key))
+    return h.hexdigest()

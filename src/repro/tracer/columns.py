@@ -261,6 +261,27 @@ class TraceColumns:
                 cols[name].extend(lists[name])
         return cls(op_table=op_table, backend=backend, **cols)
 
+    def content_digest(self) -> str:
+        """sha256 hex digest of the trace content (backend-independent).
+
+        Hashes the canonical little-endian column blobs (the packed
+        ``.trc`` encoding) plus the op table, so the numpy and python
+        backends -- and a round-trip through any of the on-disk formats
+        -- produce the same digest.  Used as the content address of
+        characterization results in the persistent store.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(MAGIC)
+        h.update(json.dumps({"n": len(self), "op_table": self.op_table},
+                            sort_keys=True).encode("utf-8"))
+        for name in INT_COLUMNS:
+            h.update(_int_blob(getattr(self, name), self.backend))
+        for name in FLOAT_COLUMNS:
+            h.update(_float_blob(getattr(self, name), self.backend))
+        return h.hexdigest()
+
     # -- persistence ----------------------------------------------------------
     def save(self, path: str | Path) -> Path:
         """Write the binary trace: ``.npz`` (numpy) or packed ``.trc``.

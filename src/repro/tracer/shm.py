@@ -1,0 +1,196 @@
+"""Zero-copy trace sharing across sweep workers via POSIX shared memory.
+
+A traced application produces one :class:`~repro.tracer.columns.TraceColumns`
+that every characterization worker needs read-only.  Pickling it into
+each worker copies the whole trace per process; at millions of events
+that serialization dominates the sweep.  Instead, the parent publishes
+the columns once into a ``multiprocessing.shared_memory`` segment and
+ships only a tiny picklable :class:`SharedColumns` handle; workers
+attach and -- on the numpy backend -- get zero-copy ``ndarray`` views
+straight over the shared buffer (the python backend copies out of the
+segment, still skipping pickle entirely).
+
+Segment layout (version 1): the packed ``.trc`` column encoding without
+the file framing -- every ``INT_COLUMNS`` blob (``<i8``), then every
+``FLOAT_COLUMNS`` blob (``<f8``), back to back.  The op table and row
+count ride in the handle.
+
+Lifetime: the creating process owns the segment and must call
+:func:`release` (or :func:`release_all`) when the sweep is done;
+:mod:`repro.core.sweep` does this around its parallel path.  Attached
+views keep the segment mapped via a module registry, so a worker's
+arrays stay valid for the worker's lifetime.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from dataclasses import dataclass
+
+from .columns import FLOAT_COLUMNS, INT_COLUMNS, TraceColumns, _float_blob, \
+    _int_blob, numpy_enabled
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+try:
+    from multiprocessing import shared_memory as _shm_mod
+except ImportError:  # pragma: no cover - minimal platforms
+    _shm_mod = None
+
+_NCOLS = len(INT_COLUMNS) + len(FLOAT_COLUMNS)
+
+
+def shm_available() -> bool:
+    """Shared-memory trace publishing usable on this platform."""
+    return _shm_mod is not None
+
+
+@dataclass(frozen=True)
+class SharedColumns:
+    """Picklable handle to a trace published in shared memory."""
+
+    shm_name: str
+    n: int
+    op_table: tuple[str, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return 8 * self.n * _NCOLS
+
+
+#: Segments this process created (owner) or attached (borrower); keeping
+#: the SharedMemory object referenced keeps the mapping -- and any numpy
+#: views over it -- alive.
+_owned: dict[str, object] = {}
+_attached: dict[str, object] = {}
+
+
+def share_columns(cols: TraceColumns) -> SharedColumns:
+    """Publish a trace into a fresh shared-memory segment; returns the handle.
+
+    The segment stays alive until :func:`release`/:func:`release_all`
+    (or process exit).  Raises ``RuntimeError`` when the platform has no
+    shared memory support -- guard with :func:`shm_available`.
+    """
+    if _shm_mod is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    n = len(cols)
+    seg = _shm_mod.SharedMemory(create=True, size=max(1, 8 * n * _NCOLS))
+    pos = 0
+    for name in INT_COLUMNS:
+        blob = _int_blob(getattr(cols, name), cols.backend)
+        seg.buf[pos:pos + len(blob)] = blob
+        pos += len(blob)
+    for name in FLOAT_COLUMNS:
+        blob = _float_blob(getattr(cols, name), cols.backend)
+        seg.buf[pos:pos + len(blob)] = blob
+        pos += len(blob)
+    _owned[seg.name] = seg
+    return SharedColumns(shm_name=seg.name, n=n,
+                         op_table=tuple(cols.op_table))
+
+
+def attach_columns(handle: SharedColumns,
+                   backend: str | None = None) -> TraceColumns:
+    """Materialize a TraceColumns from a published handle.
+
+    numpy backend: zero-copy -- the columns are ``ndarray`` views over
+    the shared buffer (read them, don't write them).  python backend:
+    one bulk ``array`` copy per column, after which the segment is
+    closed again.
+    """
+    if _shm_mod is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    backend = backend or ("numpy" if numpy_enabled() else "python")
+    seg = _attached.get(handle.shm_name) or _owned.get(handle.shm_name)
+    borrowed = seg is None
+    if borrowed:
+        seg = _shm_mod.SharedMemory(name=handle.shm_name)
+        _unregister_attachment(seg)
+    n = handle.n
+    kwargs = {}
+    if backend == "numpy":
+        if borrowed:
+            _attached[handle.shm_name] = seg  # views need the mapping alive
+        for i, name in enumerate(INT_COLUMNS):
+            kwargs[name] = np.frombuffer(seg.buf, dtype="<i8", count=n,
+                                         offset=8 * n * i)
+        for j, name in enumerate(FLOAT_COLUMNS):
+            kwargs[name] = np.frombuffer(
+                seg.buf, dtype="<f8", count=n,
+                offset=8 * n * (len(INT_COLUMNS) + j))
+    else:
+        for i, name in enumerate(INT_COLUMNS):
+            a = array("q")
+            a.frombytes(seg.buf[8 * n * i:8 * n * (i + 1)])
+            if sys.byteorder == "big":  # pragma: no cover
+                a.byteswap()
+            kwargs[name] = list(a)
+        for j, name in enumerate(FLOAT_COLUMNS):
+            i = len(INT_COLUMNS) + j
+            a = array("d")
+            a.frombytes(seg.buf[8 * n * i:8 * n * (i + 1)])
+            if sys.byteorder == "big":  # pragma: no cover
+                a.byteswap()
+            kwargs[name] = list(a)
+        if borrowed:
+            seg.close()  # fully copied out; no need to stay mapped
+    return TraceColumns(op_table=list(handle.op_table), backend=backend,
+                        **kwargs)
+
+
+def _unregister_attachment(seg) -> None:
+    """Keep the resource tracker honest on attach-only segments.
+
+    On Python < 3.13 attaching registers the segment with the
+    *attaching* process's resource tracker, which then unlinks it when
+    that process exits -- yanking the mapping out from under the owner
+    (bpo-39959).  Only the creator should unlink.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _close_or_abandon(seg) -> bool:
+    """Close a mapping; with live numpy views, leave it to process exit.
+
+    A memory-mapped buffer cannot be closed while exported views exist
+    (``BufferError``).  In that case the mapping is simply abandoned --
+    the views stay valid, the OS reclaims it at exit -- and ``close`` is
+    neutered so the object's ``__del__`` does not raise at shutdown.
+    """
+    try:
+        seg.close()
+        return True
+    except BufferError:
+        seg.close = lambda: None
+        return False
+
+
+def release(handle: SharedColumns) -> None:
+    """Close (and, if this process owns it, unlink) one segment."""
+    seg = _attached.pop(handle.shm_name, None)
+    if seg is not None:
+        _close_or_abandon(seg)
+    seg = _owned.pop(handle.shm_name, None)
+    if seg is not None:
+        _close_or_abandon(seg)
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def release_all() -> None:
+    """Release every segment this process owns or has attached."""
+    for registry in (_attached, _owned):
+        for name in list(registry):
+            release(SharedColumns(shm_name=name, n=0, op_table=()))

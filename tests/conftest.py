@@ -52,6 +52,23 @@ def _fresh_sim_caches():
     simcache.clear_all()
 
 
+@pytest.fixture(autouse=True)
+def _no_persistent_store():
+    """Tests run without a persistent store unless they attach one.
+
+    Detaching also suppresses the ``REPRO_CACHE_DIR`` environment
+    fallback, so a developer's exported cache dir cannot bleed results
+    into (or out of) the suite.  Module state is restored afterwards so
+    an outer attachment -- if any -- keeps working.
+    """
+    from repro import store
+
+    prev_active, prev_detached = store._active, store._detached
+    store.detach()
+    yield
+    store._active, store._detached = prev_active, prev_detached
+
+
 @pytest.fixture
 def nfs_cluster() -> Cluster:
     return make_nfs_cluster()

@@ -95,6 +95,37 @@ class TestArtifacts:
         assert "Busiest queue waits" in text
         assert "pipeline.characterize" in text
 
+    def test_summary_cache_table_format(self, session):
+        # estimate_on memoizes IOR runs, so the registry has activity;
+        # the summary must render one line per cache with hits, misses,
+        # hit-rate and the persistence tier.
+        prof, _, _ = session
+        from repro.core import cache as simcache
+
+        text = prof.summary()
+        assert "Result caches" in text
+        [header] = [ln for ln in text.splitlines()
+                    if ln.startswith("cache ")]
+        for col in ("hits", "misses", "hit rate", "disk hits", "tier"):
+            assert col in header
+        st = simcache.stats()["ior"]
+        looked = st["hits"] + st["misses"]
+        rate = f"{100.0 * st['hits'] / looked:.1f}%"
+        [row] = [ln for ln in text.splitlines() if ln.startswith("ior ")]
+        assert rate in row
+        assert "in-memory" in row  # no persistent store attached here
+
+    def test_summary_cache_table_reports_persistent_tier(self, session,
+                                                         tmp_path):
+        from repro import store
+
+        prof, _, _ = session
+        store.attach(tmp_path)
+        try:
+            assert "persistent" in prof.summary()
+        finally:
+            store.detach()
+
 
 class TestDisabledState:
     def test_disable_on_exception(self):

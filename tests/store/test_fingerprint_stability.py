@@ -1,0 +1,62 @@
+"""Store keys must be bit-identical across interpreters.
+
+Python salts ``hash()`` per process (PYTHONHASHSEED), and dict/set
+iteration order can differ with it -- the classic way a disk cache
+quietly stops hitting.  These tests compute ``key_digest`` for a
+representative key (cluster fingerprint, frozen dataclass params,
+dict, frozenset, Fraction, a traced program function) in fresh
+subprocesses with *different* hash seeds and require the exact hex
+digest this process computes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+import repro
+from repro.apps.ior import IORParams
+from repro.apps.madbench2 import madbench2_program
+from repro.clusters import configuration_a
+from repro.store import key_digest
+
+SRC = Path(repro.__file__).resolve().parents[1]
+
+_KEY_EXPR = """(
+    "replay",
+    configuration_a().fingerprint(),
+    IORParams(),
+    {"write": 1, "read": 2},
+    frozenset({3, 1, 2}),
+    Fraction(22, 7),
+    madbench2_program,
+)"""
+
+_SCRIPT = f"""
+from fractions import Fraction
+from repro.apps.ior import IORParams
+from repro.apps.madbench2 import madbench2_program
+from repro.clusters import configuration_a
+from repro.store import key_digest
+print(key_digest("replay", {_KEY_EXPR}))
+"""
+
+
+def _digest_in_subprocess(hashseed: str) -> str:
+    env = {**os.environ,
+           "PYTHONPATH": str(SRC),
+           "PYTHONHASHSEED": hashseed}
+    env.pop("REPRO_CACHE_DIR", None)
+    out = subprocess.run([sys.executable, "-c", _SCRIPT], env=env,
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def test_key_digest_is_interpreter_independent():
+    local = key_digest("replay", eval(_KEY_EXPR))  # noqa: S307 - own literal
+    assert len(local) == 64
+    for seed in ("0", "424242"):
+        assert _digest_in_subprocess(seed) == local

@@ -1,0 +1,187 @@
+"""Persistent result store: canonical keys, disk round-trips, cache tier."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro import store
+from repro.core import cache as simcache
+from repro.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    UnencodableKey,
+    canonical_bytes,
+    key_digest,
+)
+
+from tests.conftest import make_nfs_cluster
+
+
+@dataclasses.dataclass(frozen=True)
+class Params:
+    np: int = 4
+    rs: int = 1024
+
+
+def _module_fn():
+    return 42
+
+
+class TestCanonicalBytes:
+    def test_type_tags_keep_lookalikes_apart(self):
+        encodings = {canonical_bytes(v)
+                     for v in (1, 1.0, "1", True, None, b"1")}
+        assert len(encodings) == 6
+
+    def test_dict_encoding_is_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) \
+            == canonical_bytes({"b": 2, "a": 1})
+
+    def test_set_encoding_is_order_independent(self):
+        assert canonical_bytes(frozenset({3, 1, 2})) \
+            == canonical_bytes(frozenset({2, 3, 1}))
+
+    def test_structured_values_encode(self):
+        key = (Params(), Fraction(22, 7), make_nfs_cluster().fingerprint())
+        assert canonical_bytes(key) == canonical_bytes(key)
+
+    def test_dataclass_values_distinguish(self):
+        assert canonical_bytes(Params(np=4)) != canonical_bytes(Params(np=8))
+
+    def test_function_encodes_by_code_digest(self):
+        one = canonical_bytes(_module_fn)
+
+        def _module_fn_shadow():  # same name pattern, different body
+            return 43
+
+        assert one == canonical_bytes(_module_fn)
+        assert one != canonical_bytes(_module_fn_shadow)
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(UnencodableKey):
+            canonical_bytes(object())
+
+
+class TestKeyDigest:
+    def test_cache_name_partitions_key_space(self):
+        assert key_digest("ior", ("k",)) != key_digest("replay", ("k",))
+
+    def test_schema_partitions_key_space(self):
+        assert key_digest("ior", ("k",), schema=SCHEMA_VERSION) \
+            != key_digest("ior", ("k",), schema=SCHEMA_VERSION + 1)
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        rs = ResultStore(tmp_path)
+        key = (Params(), "write", Fraction(1, 3))
+        assert rs.put("ior", key, {"bw": 123.456})
+        assert rs.get("ior", key) == (True, {"bw": 123.456})
+        assert rs.get("ior", ("other",)) == (False, None)
+
+    def test_large_payload_goes_to_sidecar(self, tmp_path):
+        rs = ResultStore(tmp_path)
+        big = b"x" * (64 * 1024)
+        assert rs.put("trace", ("big",), big)
+        assert list(tmp_path.glob("trace/*/*.bin"))
+        assert rs.get("trace", ("big",)) == (True, big)
+
+    def test_schema_mismatch_evicts_on_read(self, tmp_path):
+        ResultStore(tmp_path, schema=1).put("ior", ("k",), 1)
+        reader = ResultStore(tmp_path, schema=2)
+        assert reader.get("ior", ("k",)) == (False, None)
+        # schema also partitions the digest, so v1's file is untouched --
+        # but a v2-addressed entry written with a stale embedded schema
+        # self-destructs:
+        rs2 = ResultStore(tmp_path, schema=2)
+        rs2.put("ior", ("k2",), 2)
+        path = tmp_path / "ior" / rs2.digest("ior", ("k2",))[:2] \
+            / (rs2.digest("ior", ("k2",)) + ".json")
+        env = json.loads(path.read_text())
+        env["schema"] = 1
+        path.write_text(json.dumps(env))
+        assert rs2.get("ior", ("k2",)) == (False, None)
+        assert not path.exists()
+
+    def test_torn_envelope_reads_as_miss(self, tmp_path):
+        rs = ResultStore(tmp_path)
+        rs.put("ior", ("k",), 1)
+        [path] = tmp_path.glob("ior/*/*.json")
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert rs.get("ior", ("k",)) == (False, None)
+
+    def test_unencodable_key_opts_out(self, tmp_path):
+        rs = ResultStore(tmp_path)
+        assert rs.put("ior", (object(),), 1) is False
+        assert rs.get("ior", (object(),)) == (False, None)
+        assert rs.stats() == {}
+
+    def test_stats_and_clear(self, tmp_path):
+        rs = ResultStore(tmp_path)
+        rs.put("ior", ("a",), 1)
+        rs.put("ior", ("b",), 2)
+        rs.put("replay", ("c",), 3)
+        stats = rs.stats()
+        assert stats["ior"]["entries"] == 2
+        assert stats["replay"]["entries"] == 1
+        assert all(st["bytes"] > 0 for st in stats.values())
+        assert rs.clear("ior") == 2
+        assert "ior" not in rs.stats()
+        assert rs.clear() == 1
+        assert rs.stats() == {}
+
+
+class TestCacheDiskTier:
+    def test_miss_falls_through_promotes_and_counts(self, tmp_path):
+        store.attach(tmp_path)
+        c = simcache.cache("ior")
+        c.store(("k",), 99)
+        simcache.clear_all()  # in-memory gone; disk survives
+        assert c.lookup(("k",)) == 99
+        assert c.disk_hits == 1
+        assert c.lookup(("k",)) == 99  # now from memory
+        assert c.disk_hits == 1
+        assert simcache.stats()["ior"]["disk_hits"] == 1
+
+    def test_write_through_lands_on_disk(self, tmp_path):
+        store.attach(tmp_path)
+        simcache.cache("replay").store(("k",), {"bw": 1.0})
+        assert store.active().get("replay", ("k",)) == (True, {"bw": 1.0})
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        store.attach(tmp_path)
+        try:
+            simcache.disable()
+            c = simcache.cache("ior")
+            c.store(("k",), 1)
+            assert c.lookup(("k",)) is simcache._MISS
+        finally:
+            simcache.enable()
+        assert store.active().stats() == {}
+
+    def test_detach_restores_memory_only(self, tmp_path):
+        store.attach(tmp_path)
+        simcache.cache("ior").store(("k",), 1)
+        store.detach()
+        simcache.clear_all()
+        assert simcache.cache("ior").lookup(("k",)) is simcache._MISS
+
+    def test_unhashable_friendly_keys_stay_in_memory(self, tmp_path):
+        store.attach(tmp_path)
+        c = simcache.cache("ior")
+        c.store((object(),), 7)  # hashable, but not canonically encodable
+        assert store.active().stats() == {}
+
+    def test_env_var_attaches_lazily(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store.ENV_VAR, str(tmp_path))
+        store._active, store._detached = None, False
+        try:
+            active = store.active()
+            assert active is not None
+            assert active.root == tmp_path
+        finally:
+            store.detach()

@@ -162,3 +162,35 @@ class TestProfile:
         prom = (out_dir / "metrics.prom").read_text()
         assert "# TYPE io_operations_total counter" in prom
         assert not obs.ACTIVE
+
+
+class TestCache:
+    def test_stats_on_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "cc")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_warm_then_stats_then_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cc")
+        assert main(["cache", "warm", "--dir", cache_dir,
+                     "--app", "synthetic", "--np", "4",
+                     "--configs", "configuration-A"]) == 0
+        out = capsys.readouterr().out
+        assert "warmed" in out and "1 configurations" in out
+
+        assert main(["cache", "stats", "--dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "schema v" in out
+        assert "trace" in out and "ior" in out and "total" in out
+
+        assert main(["cache", "clear", "--dir", cache_dir,
+                     "--cache", "trace"]) == 0
+        assert "cache 'trace'" in capsys.readouterr().out
+        assert main(["cache", "clear", "--dir", cache_dir]) == 0
+        assert "all caches" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", cache_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_env_var_is_the_default_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcc"))
+        assert main(["cache", "stats"]) == 0
+        assert "envcc" in capsys.readouterr().out
