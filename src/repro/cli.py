@@ -114,6 +114,21 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_model(args: argparse.Namespace) -> int:
+    if args.stream:
+        if args.quarantine:
+            raise SystemExit("--stream cannot salvage corrupt traces; "
+                             "drop --quarantine or use the batch loader")
+        if args.method != "columnar":
+            raise SystemExit("--stream has a single (incremental) "
+                             "extraction path; drop --method")
+        from repro.core.pipeline import characterize_stream
+        model = characterize_stream(args.traces, app_name=args.name)
+        if args.out:
+            model.save(args.out)
+        print(model.describe())
+        print()
+        print(phases_table(model))
+        return 0
     quarantine = None
     if args.quarantine:
         from repro.tracer.quarantine import QuarantineReport
@@ -163,7 +178,8 @@ def cmd_select(args: argparse.Namespace) -> int:
     factories = {name: _factory_for(name) for name in args.configs.split(",")}
     choice = select_configuration(model.phases, factories,
                                   checkpoint_dir=args.checkpoint_dir,
-                                  resume=args.resume)
+                                  resume=args.resume,
+                                  lattice=args.lattice)
     print(f"estimated total I/O time of {model.app_name} (eq. 1):")
     for name, t in choice.ranking():
         marker = "  <- selected" if name == choice.best else ""
@@ -342,6 +358,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="salvage a partial model from corrupt/truncated "
                         "traces and print a per-rank report of what was "
                         "dropped")
+    p.add_argument("--stream", action="store_true",
+                   help="fold the trace incrementally (O(open-bursts) "
+                        "memory) instead of loading it whole; the model "
+                        "is bit-identical")
     p.set_defaults(func=cmd_model)
 
     p = sub.add_parser("estimate", help="estimate I/O time on a configuration")
@@ -367,6 +387,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip configurations already checkpointed in "
                         "--checkpoint-dir")
+    p.add_argument("--lattice", action="store_true",
+                   help="evaluate all configurations analytically in one "
+                        "vectorized pass (eqs. 1-4 as array kernels) "
+                        "instead of per-config IOR replays")
     p.set_defaults(func=cmd_select)
 
     p = sub.add_parser(

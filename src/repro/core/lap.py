@@ -380,6 +380,13 @@ def _columns_entries_python(cols, gap: int) -> list[LAPEntry]:
     starts = sorted(starts_set)
     bursts = list(zip(starts, starts[1:] + [n]))
 
+    lists = (rank, fid, op, off, tick, rs, time, dur, aoff)
+    return _scan(lists, bursts, _make_reps_fn(op, rs, off), cols.op_table)
+
+
+def _make_reps_fn(op: list, rs: list, off: list) -> Callable[[int, int, int], int]:
+    """The pure-Python greedy-scan repetition query over column lists."""
+
     def reps_fn(i: int, u: int, e: int, op=op, rs=rs, off=off) -> int:
         if u == 1:  # the hot query: tight single-op scan
             o0, r0 = op[i], rs[i]
@@ -420,8 +427,7 @@ def _columns_entries_python(cols, gap: int) -> list[LAPEntry]:
             reps += 1
         return reps
 
-    lists = (rank, fid, op, off, tick, rs, time, dur, aoff)
-    return _scan(lists, bursts, reps_fn, cols.op_table)
+    return reps_fn
 
 
 def _full_run(op, off, rs, s: int, e: int, u: int) -> int:
@@ -520,6 +526,155 @@ def _scan(lists, bursts, reps_fn: Callable[[int, int, int], int],
                 i = emit(i, best_u, best_r)
     entries.sort(key=attrgetter("rank", "file_id", "first_tick"))
     return entries
+
+
+# -- streaming extraction -----------------------------------------------------
+
+class _Const:
+    """Constant pseudo-column: one (rank or file_id) value for a burst."""
+
+    __slots__ = ("v",)
+
+    def __init__(self, v):
+        self.v = v
+
+    def __getitem__(self, i: int):
+        return self.v
+
+
+class LAPFolder:
+    """Incremental LAP extraction over a *streamed* trace.
+
+    Feed trace chunks (``TraceColumns`` slices, e.g. from
+    :func:`repro.tracer.columns.iter_trace_column_chunks`) through
+    :meth:`push`; :meth:`finish` returns the LAP entries.  Memory is
+    O(open bursts + emitted entries + op table): a burst's rows are
+    buffered only until a tick gap (or end of stream) closes it, then
+    tandem-compressed with the same ``_full_run``/``_scan`` machinery
+    as the batch paths and released.
+
+    The output is **bit-identical** to :func:`extract_laps` over the
+    full trace, provided the chunks preserve each (rank, file)'s record
+    order -- any interleaving *across* keys is fine (burst buffers are
+    per-key and the final entry list is sorted like the batch path).
+    A :class:`~repro.tracer.columns.StreamDigest` runs alongside, so
+    after :meth:`finish` the folder knows the stream's content digest
+    without ever having materialized the columns.
+    """
+
+    def __init__(self, gap: int = 1):
+        from repro.tracer.columns import StreamDigest
+
+        self.gap = gap
+        self.op_table: list[str] = []
+        self._op_index: dict[str, int] = {}
+        #: (rank, file_id) -> dict of open-burst column lists
+        self._open: dict[tuple[int, int], dict[str, list]] = {}
+        self._entries: list[LAPEntry] = []
+        self.digest = StreamDigest()
+        self.nrows = 0
+        self.peak_open_rows = 0  # high-water mark of buffered rows
+        self._finished = False
+
+    # -- ingestion ------------------------------------------------------------
+    def push(self, chunk) -> None:
+        """Fold one ``TraceColumns`` chunk (any backend, any op table)."""
+        if self._finished:
+            raise RuntimeError("LAPFolder already finished")
+        lists = chunk.column_lists()
+        remap = []
+        for op in chunk.op_table:
+            code = self._op_index.get(op)
+            if code is None:
+                code = self._op_index[op] = len(self.op_table)
+                self.op_table.append(op)
+            remap.append(code)
+        if remap != list(range(len(remap))):
+            lists["op_code"] = [remap[c] for c in lists["op_code"]]
+        self.digest.update(lists)
+        self._push_lists(lists)
+
+    def push_records(self, records) -> None:
+        """Fold an iterable of ``TraceRecord`` rows (convenience)."""
+        from repro.tracer.columns import TraceColumns
+
+        self.push(TraceColumns.from_records(records, backend="python"))
+
+    def _push_lists(self, lists: dict[str, list]) -> None:
+        rank, fid = lists["rank"], lists["file_id"]
+        n = len(rank)
+        self.nrows += n
+        if n == 0:
+            return
+        # (rank, file) runs via C-speed pair-equality masks, as in the
+        # batch python path
+        same = list(map(and_, map(eq, rank[1:], rank),
+                        map(eq, fid[1:], fid)))
+        a = 0
+        while a < n:
+            try:
+                b = same.index(False, a) + 1
+            except ValueError:
+                b = n
+            self._push_run((rank[a], fid[a]), lists, a, b)
+            a = b
+        open_rows = sum(len(buf["op_code"]) for buf in self._open.values())
+        if open_rows > self.peak_open_rows:
+            self.peak_open_rows = open_rows
+
+    _BUF_COLS = ("op_code", "offset", "tick", "request_size", "time",
+                 "duration", "abs_offset")
+
+    def _push_run(self, key: tuple[int, int], lists: dict[str, list],
+                  a: int, b: int) -> None:
+        """Merge one constant-(rank, file) run into the key's burst."""
+        gap = self.gap
+        tick = lists["tick"]
+        # burst cuts inside the run: positions where the tick step > gap
+        cuts = [a]
+        gapped = list(map(gap.__lt__, map(sub, tick[a + 1:b], tick[a:b - 1])))
+        q = 0
+        while True:
+            try:
+                q = gapped.index(True, q)
+            except ValueError:
+                break
+            cuts.append(a + q + 1)
+            q += 1
+        cuts.append(b)
+        buf = self._open.get(key)
+        for s, e in zip(cuts, cuts[1:]):
+            if buf is not None and tick[s] - buf["tick"][-1] <= gap:
+                for name in self._BUF_COLS:
+                    buf[name] += lists[name][s:e]
+            else:
+                if buf is not None:
+                    self._compress(key, buf)
+                buf = {name: lists[name][s:e] for name in self._BUF_COLS}
+        self._open[key] = buf
+
+    # -- compression ----------------------------------------------------------
+    def _compress(self, key: tuple[int, int], buf: dict[str, list]) -> None:
+        op, off, rs = buf["op_code"], buf["offset"], buf["request_size"]
+        lists = (_Const(key[0]), _Const(key[1]), op, off, buf["tick"], rs,
+                 buf["time"], buf["duration"], buf["abs_offset"])
+        self._entries.extend(_scan(lists, [(0, len(op))],
+                                   _make_reps_fn(op, rs, off), self.op_table))
+
+    def finish(self) -> list[LAPEntry]:
+        """Close the remaining bursts; entries in the batch-path order."""
+        if not self._finished:
+            for key in sorted(self._open):
+                self._compress(key, self._open[key])
+            self._open.clear()
+            self._entries.sort(key=attrgetter("rank", "file_id",
+                                              "first_tick"))
+            self._finished = True
+        return self._entries
+
+    def content_digest(self) -> str:
+        """The streamed trace's content digest (valid any time)."""
+        return self.digest.finalize(self.op_table)
 
 
 def expand_entry(entry: LAPEntry) -> list[tuple[str, int, int]]:

@@ -122,6 +122,61 @@ class IOModel:
         return model
 
     @classmethod
+    def from_stream(cls, chunks, metadata: AppMetadata, nprocs: int,
+                    app_name: str = "app", tick_tol: int = DEFAULT_TICK_TOL,
+                    gap: int = 1) -> "IOModel":
+        """Characterization over *streamed* trace chunks.
+
+        ``chunks`` is an iterable of ``TraceColumns`` pieces (e.g. from
+        :func:`repro.tracer.columns.iter_trace_column_chunks` or
+        :func:`repro.tracer.hooks.stream_bundle`) whose concatenation is
+        the full trace.  LAPs fold incrementally
+        (:class:`~repro.core.lap.LAPFolder`), so memory stays
+        O(phases + open bursts) instead of O(events): million-event
+        traces characterize without ever materializing full columns.
+        The result is bit-identical to :meth:`from_columns` /
+        :meth:`from_trace` on the materialized trace.
+
+        The ``"characterize"`` store cache is shared with
+        :meth:`from_columns` -- the folder's running digest equals the
+        materialized trace's content digest, so either path warm-starts
+        the other.  (The lookup necessarily happens *after* the stream
+        is consumed; a hit still skips phase identification.)
+        """
+        from repro import store as _store
+
+        from . import cache as simcache
+        from .lap import LAPFolder
+
+        with obs.span("characterize.model", cat="pipeline",
+                      method="stream"):
+            t0 = _time.perf_counter()
+            folder = LAPFolder(gap=gap)
+            with obs.span("characterize.laps", cat="pipeline"):
+                for chunk in chunks:
+                    folder.push(chunk)
+                entries = folder.finish()
+            key = None
+            if _store.active() is not None:
+                meta = json.dumps(metadata.to_dict(), sort_keys=True) \
+                    if metadata is not None else None
+                key = ("from_columns", folder.content_digest(), meta,
+                       nprocs, app_name, tick_tol, gap)
+                hit = simcache.cache("characterize").lookup(key)
+                if hit is not simcache._MISS:
+                    return hit
+            model = cls._from_entries(entries, metadata, nprocs, app_name,
+                                      tick_tol)
+        if obs.ACTIVE:
+            _observe_characterization("stream", folder.nrows, len(entries),
+                                      _time.perf_counter() - t0)
+            obs.inc("characterize_stream_peak_open_rows",
+                    folder.peak_open_rows)
+        if key is not None:
+            simcache.cache("characterize").store(key, model)
+        return model
+
+    @classmethod
     def _from_entries(cls, entries: list[LAPEntry], metadata: AppMetadata,
                       nprocs: int, app_name: str, tick_tol: int) -> "IOModel":
         if metadata is None:

@@ -120,6 +120,30 @@ def build_model(bundle: TraceBundle, app_name: str = "app",
                               gap=gap, method=method)
 
 
+def characterize_stream(directory, app_name: str = "app",
+                        tick_tol: int = 16, gap: int = 1,
+                        chunk_rows: int = 1 << 16) -> IOModel:
+    """Extract the model from a saved trace directory, *streaming*.
+
+    The bundle's trace files are parsed chunk-wise and folded
+    incrementally (:meth:`IOModel.from_stream`), so a million-event
+    text trace characterizes in O(chunk + open bursts) memory while
+    producing the bit-identical model to :func:`build_model` on the
+    loaded bundle.
+    """
+    from repro.tracer.hooks import stream_bundle
+
+    with obs.span("pipeline.characterize_stream", cat="pipeline",
+                  app=app_name) as sp:
+        nprocs, metadata, chunks = stream_bundle(directory,
+                                                 chunk_rows=chunk_rows)
+        model = IOModel.from_stream(chunks, metadata, nprocs,
+                                    app_name=app_name, tick_tol=tick_tol,
+                                    gap=gap)
+        sp.annotate(nphases=model.nphases)
+    return model
+
+
 def _characterize_bundle_job(columns, metadata, nprocs: int, app_name: str,
                              tick_tol: int, gap: int, method: str) -> IOModel:
     """Worker-side body of one bundle's model extraction."""

@@ -134,6 +134,39 @@ class TraceColumns:
         return cls(op_table=op_table, backend=backend, **cols)
 
     @classmethod
+    def from_stream(cls, chunks: Iterable["TraceColumns"],
+                    backend: str | None = None) -> "TraceColumns":
+        """Build one trace from an iterable of column *chunks*.
+
+        Like :meth:`concat`, but consuming the chunks lazily (the
+        iterable is never materialized as a list) and remapping each
+        chunk's op codes onto one merged table in first-appearance
+        order -- the same interning order ``from_records`` /
+        ``from_events`` produce, so the result's
+        :meth:`content_digest` matches the equivalent one-shot build.
+        """
+        out_backend = backend
+        cols = cls._empty_lists()
+        op_table: list[str] = []
+        op_index: dict[str, int] = {}
+        for part in chunks:
+            if out_backend is None:
+                out_backend = part.backend
+            remap = []
+            for op in part.op_table:
+                code = op_index.get(op)
+                if code is None:
+                    code = op_index[op] = len(op_table)
+                    op_table.append(op)
+                remap.append(code)
+            lists = part.column_lists()
+            if remap != list(range(len(remap))):
+                lists["op_code"] = [remap[c] for c in lists["op_code"]]
+            for name in ALL_COLUMNS:
+                cols[name].extend(lists[name])
+        return cls(op_table=op_table, backend=out_backend, **cols)
+
+    @classmethod
     def from_events(cls, events: Iterable,
                     backend: str | None = None) -> "TraceColumns":
         """Build columns straight from engine ``IOEvent`` objects."""
@@ -264,23 +297,22 @@ class TraceColumns:
     def content_digest(self) -> str:
         """sha256 hex digest of the trace content (backend-independent).
 
-        Hashes the canonical little-endian column blobs (the packed
-        ``.trc`` encoding) plus the op table, so the numpy and python
-        backends -- and a round-trip through any of the on-disk formats
-        -- produce the same digest.  Used as the content address of
-        characterization results in the persistent store.
-        """
-        import hashlib
+        Hashes per-column sub-digests of the canonical little-endian
+        column blobs (the packed ``.trc`` encoding) plus the op table,
+        so the numpy and python backends -- and a round-trip through
+        any of the on-disk formats -- produce the same digest.  Used as
+        the content address of characterization results in the
+        persistent store.
 
-        h = hashlib.sha256()
-        h.update(MAGIC)
-        h.update(json.dumps({"n": len(self), "op_table": self.op_table},
-                            sort_keys=True).encode("utf-8"))
-        for name in INT_COLUMNS:
-            h.update(_int_blob(getattr(self, name), self.backend))
-        for name in FLOAT_COLUMNS:
-            h.update(_float_blob(getattr(self, name), self.backend))
-        return h.hexdigest()
+        The column sub-digest structure makes the digest *streamable*:
+        a :class:`StreamDigest` fed the same rows chunk by chunk
+        finalizes to the identical hex string without ever holding the
+        full columns (per-chunk blobs concatenate to per-column blobs).
+        """
+        sd = StreamDigest()
+        sd.update({name: getattr(self, name) for name in ALL_COLUMNS},
+                  backend=self.backend)
+        return sd.finalize(self.op_table)
 
     # -- persistence ----------------------------------------------------------
     def save(self, path: str | Path) -> Path:
@@ -345,6 +377,47 @@ class TraceColumns:
             for name in FLOAT_COLUMNS:
                 kwargs[name] = _read_float_blob(f, n, backend)
         return cls(op_table=header["op_table"], backend=backend, **kwargs)
+
+
+class StreamDigest:
+    """Running :meth:`TraceColumns.content_digest` over column chunks.
+
+    Keeps one sha256 per column (O(1) memory however long the trace);
+    :meth:`update` hashes a chunk's column blobs, :meth:`finalize`
+    combines the sub-digests with the header exactly as
+    ``content_digest`` does.  Op codes must already be *global* (interned
+    against the final op table in first-appearance order) -- the
+    :class:`~repro.core.lap.LAPFolder` does that remapping as it folds.
+    """
+
+    __slots__ = ("_cols", "nrows")
+
+    def __init__(self):
+        import hashlib
+
+        self._cols = {name: hashlib.sha256() for name in ALL_COLUMNS}
+        self.nrows = 0
+
+    def update(self, lists: Mapping[str, Sequence],
+               backend: str = "python") -> None:
+        """Fold one chunk (a column-name -> sequence mapping)."""
+        for name in INT_COLUMNS:
+            self._cols[name].update(_int_blob(lists[name], backend))
+        for name in FLOAT_COLUMNS:
+            self._cols[name].update(_float_blob(lists[name], backend))
+        self.nrows += len(lists["rank"])
+
+    def finalize(self, op_table: Sequence[str]) -> str:
+        """The digest of the concatenated chunks (repeatable)."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(MAGIC)
+        h.update(json.dumps({"n": self.nrows, "op_table": list(op_table)},
+                            sort_keys=True).encode("utf-8"))
+        for name in ALL_COLUMNS:
+            h.update(self._cols[name].digest())
+        return h.hexdigest()
 
 
 def _int_blob(col, backend: str) -> bytes:
@@ -432,6 +505,53 @@ def read_trace_columns(path: str | Path, *,
                      backend, quarantine)
     # columns accumulate as plain lists; one bulk conversion at the end
     return TraceColumns(op_table=op_table, backend=backend, **cols)
+
+
+def iter_trace_column_chunks(path: str | Path, *,
+                             etype_size: int | Mapping[int, int] | None = None,
+                             backend: str | None = None,
+                             chunk_rows: int = 1 << 16,
+                             quarantine=None) -> Iterator[TraceColumns]:
+    """Stream a Fig. 2 text trace as ``TraceColumns`` chunks.
+
+    The streaming twin of :func:`read_trace_columns`: identical parsing,
+    header handling and quarantine semantics, but the file is never
+    materialized -- at most ``chunk_rows`` rows are alive at once.  Each
+    yielded chunk carries its own (growing) op-table snapshot; feed the
+    chunks to :meth:`TraceColumns.from_stream` or a
+    :class:`~repro.core.lap.LAPFolder`, which re-intern the codes.
+    """
+    path = Path(path)
+    backend = backend or default_backend()
+    op_table: list[str] = []
+    op_index: dict[str, int] = {}
+    pending: list[tuple[int, str]] = []
+
+    def flush() -> TraceColumns | None:
+        cols = TraceColumns._empty_lists()
+        _parse_chunk(pending, path, cols, op_table, op_index, etype_size,
+                     backend, quarantine)
+        pending.clear()
+        if not cols["rank"]:
+            return None
+        return TraceColumns(op_table=list(op_table), backend=backend, **cols)
+
+    with path.open() as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if lineno == 1 and line == HEADER:
+                continue
+            pending.append((lineno, line))
+            if len(pending) >= chunk_rows:
+                out = flush()
+                if out is not None:
+                    yield out
+    if pending:
+        out = flush()
+        if out is not None:
+            yield out
 
 
 def _parse_chunk(pending, path, cols, op_table, op_index, etype_size,

@@ -30,7 +30,12 @@ from repro.ioutil import atomic_write_text
 from repro.simmpi.engine import Engine
 from repro.simmpi.fileio import IOEvent
 
-from .columns import TraceColumns, numpy_enabled, read_trace_columns
+from .columns import (
+    TraceColumns,
+    iter_trace_column_chunks,
+    numpy_enabled,
+    read_trace_columns,
+)
 from .metadata import AppMetadata
 from .tracefile import TraceRecord, write_trace_file
 
@@ -176,6 +181,48 @@ class TraceBundle:
         if nprocs is None:
             nprocs = int(max(columns.rank)) + 1 if len(columns) else 0
         return cls(nprocs=nprocs, columns=columns, metadata=metadata)
+
+
+def stream_bundle(directory: str | Path, chunk_rows: int = 1 << 16,
+                  backend: str | None = None):
+    """Open a saved bundle for *streaming* characterization.
+
+    Returns ``(nprocs, metadata, chunks)`` where ``chunks`` lazily
+    yields ``TraceColumns`` pieces of at most ``chunk_rows`` rows whose
+    concatenation equals ``TraceBundle.load(directory).columns`` -- feed
+    it straight to :meth:`repro.core.model.IOModel.from_stream`.
+
+    Text bundles (``trace.<rank>`` files) stream for real: each rank
+    file is parsed chunk-wise (:func:`iter_trace_column_chunks`) in rank
+    order, so peak memory is O(chunk + open bursts) regardless of trace
+    length.  Binary bundles are a single column blob -- those load and
+    are re-sliced, which bounds the *folding* memory but not the load
+    itself (save with ``binary=False`` for true streaming).
+    """
+    directory = Path(directory)
+    payload = json.loads((directory / "metadata.json").read_text())
+    nprocs = payload["nprocs"]
+    metadata = AppMetadata.from_dict(payload["metadata"])
+    etypes = {f.file_id: f.etype_size for f in metadata.files}
+
+    binpath = None
+    for name in ("columns.npz", "columns.trc"):
+        if (directory / name).exists():
+            binpath = directory / name
+            break
+
+    def chunks():
+        if binpath is not None:
+            cols = TraceColumns.load(binpath, backend=backend)
+            for lo in range(0, len(cols), chunk_rows):
+                yield cols.take(range(lo, min(lo + chunk_rows, len(cols))))
+            return
+        for rank in range(nprocs):
+            yield from iter_trace_column_chunks(
+                directory / f"trace.{rank}", etype_size=etypes,
+                backend=backend, chunk_rows=chunk_rows)
+
+    return nprocs, metadata, chunks()
 
 
 @dataclass

@@ -188,7 +188,10 @@ records_strategy = st.lists(
 )
 
 garbage_strategy = st.lists(
-    st.text(alphabet=st.characters(blacklist_characters="\n\r"),
+    # Surrogates (category Cs) cannot be UTF-8-encoded, so they can
+    # never appear in a trace file in the first place.
+    st.text(alphabet=st.characters(blacklist_characters="\n\r",
+                                   blacklist_categories=("Cs",)),
             min_size=1, max_size=40).filter(lambda s: s.strip()),
     max_size=10,
 )
