@@ -2,7 +2,7 @@
 """Before/after wall-clock benchmark for the fast SPMD core and the
 columnar characterization pipeline.
 
-Two workload families, each run twice:
+Three workload families, each workload run as a before/after pair:
 
 * **simulation** (``full_study_*``, ``replay_high_rep``) -- before: the
   pre-optimization engine (thread-per-rank scheduler, memo caches
@@ -14,6 +14,10 @@ Two workload families, each run twice:
   (binary column load, vectorized extraction) -- once on the numpy
   backend, once on the pure-Python fallback, plus a traced high-np ROMS
   run.
+* **distributed sweep** (``sweep_cluster``) -- before: spawn-per-job
+  dispatch to fresh worker processes; after: one persistent socket
+  worker cluster (:mod:`repro.core.executors`) running the same replay
+  jobs with pipelined dispatch.
 
 Every workload's two legs must produce the *same* results (models are
 compared bit-for-bit) -- the optimizations are exact, only faster.  Any
@@ -462,6 +466,73 @@ def characterize_roms_columnar() -> IOModel:
                                 ds["nprocs"], app_name="roms")
 
 
+# -- distributed sweep (cluster executor) -------------------------------------
+#
+# The cluster backend's measurable win on a single-core CI box is
+# dispatch amortization: persistent socket workers pay interpreter
+# start + repro import + handshake once per *worker*, while the naive
+# way to distribute (a fresh runner process per job, the ssh-out
+# pattern) pays it once per *job*.  Before: spawn-per-job dispatch of
+# the same replay jobs.  After: one persistent 4-worker cluster with
+# pipelined dispatch.  Both legs run identical compute, so the ratio
+# isolates the orchestration overhead -- the part of cluster mode that
+# wins on any machine.  (On a multi-core or multi-node host the
+# persistent cluster additionally overlaps the compute itself; a
+# single effective core cannot show that, and an in-process serial
+# sweep of CPU-bound jobs will beat both legs here.  The distinct
+# request sizes per phase keep the planner's dedup from collapsing the
+# jobs.)
+
+SWEEP_CLUSTER_PHASES = 8
+SWEEP_CLUSTER_REP = 240
+
+
+def sweep_cluster_jobs() -> dict:
+    """16 unique replay jobs: 8 distinct phases x 2 configurations."""
+    from repro.core.offsetfn import OffsetFunction as OF
+
+    jobs: dict[str, tuple] = {}
+    for i in range(SWEEP_CLUSTER_PHASES):
+        rs = MB + i * 4096  # distinct sizes: no planner/job dedup
+        offs = OF(slope=Fraction(rs), intercept=Fraction(0))
+        op = PhaseOp(op="write_at", kind="write", request_size=rs, disp=0,
+                     offset_fn=offs, abs_offset_fn=offs)
+        ph = Phase(phase_id=i, file_group=f"f{i}", rep=SWEEP_CLUSTER_REP,
+                   ops=(op,), ranks=tuple(range(4)), tick=1.0,
+                   first_time=0.0, duration=1.0)
+        jobs[f"A-{i:02d}"] = (ph, configuration_a)
+        jobs[f"B-{i:02d}"] = (ph, configuration_b)
+    return jobs
+
+
+def sweep_spawn_per_job() -> dict:
+    """Before leg: a fresh single-worker cluster per job."""
+    from repro.core.executors import ClusterExecutor
+    from repro.core.planner import _run_replay_job
+
+    results = {}
+    for name, args in sweep_cluster_jobs().items():
+        ex = ClusterExecutor(spawn=1)
+        for n, _failure, result in ex.run(_run_replay_job, {name: args}):
+            results[n] = result
+    return results
+
+
+def sweep_cluster_persistent() -> dict:
+    """After leg: one persistent 4-worker cluster, pipelined dispatch."""
+    from repro.core.executors import ClusterExecutor
+    from repro.core.planner import _run_replay_job
+    from repro.core.sweep import sweep_map
+
+    return sweep_map(_run_replay_job, sweep_cluster_jobs(),
+                     executor=ClusterExecutor(spawn=4))
+
+
+def summarize_sweep(results: dict) -> dict:
+    """The replayed bandwidths, compared bit-for-bit across legs."""
+    return {name: est.bw_ch_mb_s for name, est in sorted(results.items())}
+
+
 # -- configuration-lattice selection ------------------------------------------
 #
 # select_configuration over the full 4096-point ConfigSpace (RAID level
@@ -593,15 +664,28 @@ WORKLOADS = [
              characterize_roms_columnar, summarize_model, rtol=0.0,
              min_speedup=5.0, repeat=2, fresh_store=True),
     # Streaming: the 1M-event trace never materializes; identical model.
-    # Both legs are dominated by the text parse (which the streaming
-    # leg does chunk-wise), so the structural margin is modest --
-    # ~1.7-2x allocator-warm, ~3x cold.  The floor sits below the warm
-    # band: it trips only if streaming regresses toward (or past) the
-    # cost of materializing the records.  The memory win is enforced
-    # separately by --check-stream-rss.
+    # Both legs are dominated by the text parse, but the streaming leg
+    # now takes the single-pass chunk tokenizer (one str.split per
+    # batch, stride-9 column fills) while the record leg pays per-line
+    # object churn.  In-suite (GC disabled, allocator warm from the
+    # earlier workloads -- both flatter the record leg) the band is
+    # ~1.45-1.6x, ~2.2x isolated; pre-tokenizer the same in-suite
+    # measurement sits near 1.2x.  The floor is below today's worst
+    # in-suite sample: it trips if the tokenizer's fast path stops
+    # engaging or streaming regresses toward materializing the
+    # records.  The memory win is enforced by --check-stream-rss.
     Workload("characterize_stream_1m", characterize_stream_records,
              characterize_stream_streaming, summarize_model, rtol=0.0,
-             min_speedup=1.3, repeat=2),
+             min_speedup=1.35, repeat=2),
+    # Cluster sweep: persistent socket workers vs spawn-per-job
+    # dispatch of identical replay jobs (bit-identical bandwidths).
+    # The 3-3.7x observed headroom is interpreter/import/handshake
+    # amortization, which holds on a single-core runner (multi-core
+    # compute overlap comes on top elsewhere); the floor leaves room
+    # for a heavily loaded machine, where the persistent-worker leg
+    # degrades more than the spawn-per-job one.
+    Workload("sweep_cluster", sweep_spawn_per_job, sweep_cluster_persistent,
+             summarize_sweep, rtol=0.0, min_speedup=1.5),
     # Lattice: analytic times approximate the replays, so the compared
     # output is the selection itself (winner name), not the times.
     Workload("select_lattice_4k", select_4k_replay, select_4k_lattice,

@@ -12,6 +12,7 @@ Subcommands mirror the methodology's stages::
     repro-io signatures --model mb2.model.json
     repro-io profile   --app madbench2 --np 16 --config configuration-A --out prof/
     repro-io cache     stats|clear|warm [--dir .repro-cache]
+    repro-io workers   launch|drain [--count 4] [--port-base 7700]
     repro-io configs
 
 Applications: madbench2, btio-A/B/C/D, synthetic, ior, roms.
@@ -176,10 +177,16 @@ def cmd_usage(args: argparse.Namespace) -> int:
 def cmd_select(args: argparse.Namespace) -> int:
     model = IOModel.load(args.model)
     factories = {name: _factory_for(name) for name in args.configs.split(",")}
+    executor = args.executor
+    if executor == "cluster" and args.workers:
+        from repro.core.executors import ClusterExecutor
+
+        executor = ClusterExecutor(workers=args.workers)
     choice = select_configuration(model.phases, factories,
                                   checkpoint_dir=args.checkpoint_dir,
                                   resume=args.resume,
-                                  lattice=args.lattice)
+                                  lattice=args.lattice,
+                                  executor=executor)
     print(f"estimated total I/O time of {model.app_name} (eq. 1):")
     for name, t in choice.ranking():
         marker = "  <- selected" if name == choice.best else ""
@@ -318,6 +325,69 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workers(args: argparse.Namespace) -> int:
+    """Launch or drain socket sweep workers (the cluster executor)."""
+    import os
+    import socket
+    import subprocess
+
+    from repro.core.executors import cluster as cluster_mod
+    from repro.core.executors import wire
+
+    if args.action == "drain":
+        spec = args.workers or os.environ.get(cluster_mod.WORKERS_ENV, "")
+        endpoints = cluster_mod.parse_endpoints(spec)
+        if not endpoints:
+            print("no workers to drain: pass --workers host:port,... or "
+                  f"set {cluster_mod.WORKERS_ENV}", file=sys.stderr)
+            return 2
+        failed = 0
+        for host, port in endpoints:
+            try:
+                with socket.create_connection((host, port), timeout=5) as s:
+                    wire.send_frame(s, wire.DRAIN)
+                print(f"drained {host}:{port}")
+            except OSError as exc:
+                print(f"could not drain {host}:{port}: {exc}",
+                      file=sys.stderr)
+                failed += 1
+        return 1 if failed else 0
+
+    # launch: spawn worker processes in the foreground and babysit them.
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[1])
+    env["PYTHONPATH"] = (src_root + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src_root)
+    procs: list[subprocess.Popen] = []
+    endpoints = []
+    for i in range(args.count):
+        port = args.port_base + i if args.port_base else 0
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.core.executors.worker",
+             "--listen", f"{args.bind}:{port}"],
+            stdout=subprocess.PIPE, env=env, text=True)
+        line = (proc.stdout.readline() or "").split()
+        if len(line) != 3 or line[0] != "LISTENING":
+            for p in procs:
+                p.terminate()
+            print(f"worker {i} failed to start (exit {proc.poll()!r})",
+                  file=sys.stderr)
+            return 1
+        procs.append(proc)
+        endpoints.append(f"{line[1]}:{line[2]}")
+        print(f"worker pid={proc.pid} listening on {line[1]}:{line[2]}",
+              flush=True)
+    print(f"export {cluster_mod.WORKERS_ENV}={','.join(endpoints)}",
+          flush=True)
+    try:
+        for proc in procs:
+            proc.wait()
+    except KeyboardInterrupt:
+        for proc in procs:
+            proc.terminate()
+    return 0
+
+
 def cmd_configs(args: argparse.Namespace) -> int:
     descs = [f().description for f in ALL_CONFIGURATIONS.values()]
     print(configuration_table(descs, title="Available I/O configurations "
@@ -391,6 +461,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="evaluate all configurations analytically in one "
                         "vectorized pass (eqs. 1-4 as array kernels) "
                         "instead of per-config IOR replays")
+    p.add_argument("--executor", choices=("serial", "pool", "cluster"),
+                   help="sweep backend for the unique replays "
+                        "(default: serial, or $REPRO_EXECUTOR)")
+    p.add_argument("--workers",
+                   help="cluster worker endpoints host:port,host:port "
+                        "(with --executor cluster; default "
+                        "$REPRO_CLUSTER_WORKERS or spawned localhost "
+                        "workers)")
     p.set_defaults(func=cmd_select)
 
     p = sub.add_parser(
@@ -441,6 +519,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--configs", default="configuration-A,configuration-B",
                    help="(warm) comma-separated configuration names")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "workers",
+        help="launch or drain socket sweep workers (cluster executor)")
+    p.add_argument("action", choices=("launch", "drain"))
+    p.add_argument("--count", type=int, default=2,
+                   help="how many workers to launch (default 2)")
+    p.add_argument("--bind", default="127.0.0.1",
+                   help="address workers listen on (default 127.0.0.1)")
+    p.add_argument("--port-base", type=int, default=0,
+                   help="first port; worker i listens on port-base+i "
+                        "(default: OS-assigned free ports)")
+    p.add_argument("--workers",
+                   help="endpoints to drain, host:port,host:port "
+                        "(default $REPRO_CLUSTER_WORKERS)")
+    p.set_defaults(func=cmd_workers)
 
     p = sub.add_parser("configs", help="list the modeled I/O configurations")
     p.set_defaults(func=cmd_configs)

@@ -271,7 +271,8 @@ def select_configuration(phases: Sequence[Phase],
                          raise_on_error: bool = True,
                          checkpoint_dir=None,
                          resume: bool = False,
-                         lattice=False) -> ConfigurationChoice:
+                         lattice=False,
+                         executor=None) -> ConfigurationChoice:
     """Estimate the model on every configuration; pick the fastest.
 
     This is the paper's use case in Table XII: estimate BT-IO on
@@ -283,7 +284,10 @@ def select_configuration(phases: Sequence[Phase],
     executed -- identical phases share one IOR replication within *and*
     across configurations.  ``parallel=True`` sweeps those unique
     replays concurrently in worker processes (factories must be
-    picklable; unpicklable sweeps fall back to the serial path).
+    picklable; unpicklable sweeps fall back to the serial path);
+    ``executor="cluster"`` (or ``REPRO_EXECUTOR=cluster``) fans them
+    out to socket workers instead (:mod:`repro.core.executors`) with
+    bit-identical rankings.
 
     The resilience knobs mirror :func:`repro.core.sweep.sweep_map` and
     apply per unique replay: ``retry`` absorbs transient faults;
@@ -316,7 +320,7 @@ def select_configuration(phases: Sequence[Phase],
     reports = plan.execute(
         parallel=parallel, max_workers=max_workers,
         retry=retry, timeout_s=timeout_s, raise_on_error=raise_on_error,
-        checkpoint_dir=checkpoint_dir, resume=resume)
+        checkpoint_dir=checkpoint_dir, resume=resume, executor=executor)
     totals = {name: (report.total_time_ch
                      if not isinstance(report, JobFailure)
                      else float("inf"))

@@ -1,0 +1,124 @@
+"""Executor interface shared by every sweep backend.
+
+An executor turns ``{name: args}`` jobs into ``(name, failure, result)``
+triples, in whatever order the backend completes them --
+:func:`repro.core.sweep.sweep_map` owns everything backend-independent
+(checkpoints, resume, chaos hooks, error policy, final ordering), so a
+backend only has to run jobs and report outcomes:
+
+* ``failure is None``  -- the job produced ``result``;
+* ``failure`` is a :class:`JobFailure` -- the job raised (or timed out,
+  or exhausted its requeue budget on the cluster backend) and
+  ``result`` is ``None``.
+
+:class:`JobFailure` and :class:`SweepJobError` live here (moved from
+``repro.core.sweep``, which re-exports them) so backend modules can use
+them without importing the sweep module that imports *them*.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+from repro import obs
+from repro.faults.resilience import RetryPolicy, retry_call
+
+__all__ = [
+    "JobFailure", "SweepJobError", "Executor", "SerialExecutor",
+    "job_failure", "run_job",
+]
+
+
+@dataclass
+class JobFailure:
+    """A job that did not produce a result (kept in the result dict)."""
+
+    name: str
+    error: str
+    traceback: str = ""
+    timed_out: bool = False
+
+    def __bool__(self) -> bool:  # failures are falsy: filter with `if v`
+        return False
+
+
+class SweepJobError(RuntimeError):
+    """A sweep job failed under ``raise_on_error=True``."""
+
+    def __init__(self, name: str, error: str, tb: str):
+        super().__init__(
+            f"sweep job {name!r} failed: {error}\n"
+            f"--- job traceback ---\n{tb}")
+        self.job = name
+        self.error = error
+        self.job_traceback = tb
+
+
+def job_failure(name: str, exc: BaseException, timed_out: bool = False,
+                tb: str | None = None) -> JobFailure:
+    """Record and build the failure for one job."""
+    if obs.ACTIVE:
+        obs.inc("sweep_job_failures_total", job=name)
+    return JobFailure(name=name, error=repr(exc),
+                      traceback=tb if tb is not None else traceback.format_exc(),
+                      timed_out=timed_out)
+
+
+def run_job(fn: Callable, args: tuple, retry: RetryPolicy | None,
+            store_root: str | None = None) -> Any:
+    """Worker-side body: one job, optionally under a retry policy.
+
+    ``store_root`` re-attaches the parent's persistent result store in
+    spawned workers (forked ones inherit it); shared-memory trace
+    handles in ``args`` are materialized back into columns here.
+    """
+    if store_root is not None:
+        from repro import store as _result_store
+
+        if _result_store.active() is None:
+            _result_store.attach(store_root)
+    args = _attach_shared_args(args)
+    if retry is None:
+        return fn(*args)
+    return retry_call(fn, *args, policy=retry)
+
+
+def _attach_shared_args(args: tuple) -> tuple:
+    """Swap shared-memory trace handles back for real columns."""
+    from repro.tracer.shm import SharedColumns, attach_columns
+
+    if not any(isinstance(a, SharedColumns) for a in args):
+        return args
+    return tuple(attach_columns(a) if isinstance(a, SharedColumns) else a
+                 for a in args)
+
+
+class Executor:
+    """Base class for sweep backends (see the module docstring)."""
+
+    name = "?"
+
+    def run(self, fn: Callable, jobs: Mapping[str, tuple], *,
+            retry: RetryPolicy | None = None,
+            timeout_s: float | None = None,
+            max_workers: int | None = None,
+            ) -> Iterator[tuple[str, JobFailure | None, Any]]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process, one job at a time.  ``timeout_s`` is advisory only:
+    a cooperative single process cannot interrupt itself safely."""
+
+    name = "serial"
+
+    def run(self, fn, jobs, *, retry=None, timeout_s=None, max_workers=None):
+        for name, args in jobs.items():
+            try:
+                result = run_job(fn, args, retry)
+            except Exception as exc:
+                yield name, job_failure(name, exc), None
+            else:
+                yield name, None, result

@@ -1,0 +1,192 @@
+"""Socket sweep worker: ``python -m repro.core.executors.worker``.
+
+A worker *listens*; masters connect to it.  That inversion is what
+makes ``repro-io workers launch`` possible: workers are long-lived
+(start them once per node), masters are ephemeral (one per
+``sweep_map`` call), and a drained worker is just a connection away.
+
+Per-connection protocol (see :mod:`.wire`):
+
+1. First frame must be HELLO (JSON) -- the worker refuses protocol or
+   store-schema mismatches with an ERR frame -- or DRAIN, which exits
+   the process so ``repro-io workers drain`` works against an idle
+   worker.
+2. The HELLO's store stanza decides warm-start plumbing: ``shared``
+   attaches the master's cache directory (same box / shared
+   filesystem), ``writeback`` attaches an in-memory
+   :class:`~repro.store.memory.CaptureStore` whose encoded writes ride
+   home on every RESULT frame, ``none`` detaches.
+3. Then JOB frames are answered with RESULT (payload-encoded result +
+   captured store writes) or FAIL (JSON error + traceback; exceptions
+   never cross the wire pickled).  A background thread heartbeats
+   while jobs run so the master can tell "slow" from "dead".
+4. RELEASE ends the session: the worker detaches its store and goes
+   back to accepting the next master.  DRAIN exits.
+
+Chaos hook: ``REPRO_CLUSTER_KILL_AFTER=N`` hard-exits the process
+instead of sending its N-th RESULT -- the CI cluster-chaos leg uses
+this to prove the master requeues and the sweep's output is
+bit-identical anyway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+
+from repro import store as result_store
+from repro.store.memory import CaptureStore
+
+from . import wire
+from .base import run_job
+
+#: Chaos hook: hard-exit (CHAOS_EXIT_CODE) instead of sending the N-th
+#: result, so the master sees a mid-sweep worker death.
+KILL_ENV = "REPRO_CLUSTER_KILL_AFTER"
+CHAOS_EXIT_CODE = 17
+
+HEARTBEAT_INTERVAL_S = 0.5
+
+
+class _Heartbeat:
+    """Background HEARTBEAT sender sharing the connection's send lock."""
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock):
+        self._sock = sock
+        self._lock = lock
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._pump, daemon=True)
+        self._thread.start()
+
+    def _pump(self) -> None:
+        while not self._stop.wait(HEARTBEAT_INTERVAL_S):
+            try:
+                with self._lock:
+                    wire.send_frame(self._sock, wire.HEARTBEAT)
+            except OSError:
+                return  # master gone; the serve loop will notice too
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2 * HEARTBEAT_INTERVAL_S)
+
+
+def _attach_store(stanza: dict) -> None:
+    mode = stanza.get("mode", "none")
+    if mode == "shared" and stanza.get("root"):
+        result_store.attach(stanza["root"])
+    elif mode == "writeback":
+        result_store.attach(CaptureStore())
+    else:
+        result_store.detach()
+
+
+def _serve_connection(conn: socket.socket, results_sent: list[int]) -> bool:
+    """One master session; returns False when the worker should exit."""
+    send_lock = threading.Lock()
+    first = wire.recv_frame(conn)
+    if first is None:
+        return True
+    ftype, payload = first
+    if ftype == wire.DRAIN:
+        return False
+    if ftype != wire.HELLO:
+        wire.send_json(conn, wire.ERR,
+                       {"error": f"expected HELLO, got frame type {ftype}"})
+        return True
+    hello = json.loads(payload.decode("utf-8"))
+    refusal = wire.check_hello(hello)
+    if refusal is not None:
+        wire.send_json(conn, wire.ERR, {"error": refusal})
+        return True
+    _attach_store(hello.get("store", {}))
+    wire.send_json(conn, wire.WELCOME,
+                   {"protocol": wire.PROTOCOL_VERSION,
+                    "schema": hello["schema"], "pid": os.getpid()})
+
+    kill_after = int(os.environ.get(KILL_ENV, "0") or "0")
+    heartbeat = _Heartbeat(conn, send_lock)
+    try:
+        while True:
+            frame = wire.recv_frame(conn)
+            if frame is None:
+                return True  # master vanished; back to accept()
+            ftype, payload = frame
+            if ftype == wire.RELEASE:
+                return True
+            if ftype == wire.DRAIN:
+                return False
+            if ftype != wire.JOB:
+                continue
+            name, body = wire.unpack_job(payload)
+            try:
+                fn, args, retry = wire.decode_payload(body)
+                result = run_job(fn, args, retry)
+            except Exception as exc:
+                import traceback as _tb
+
+                try:
+                    with send_lock:
+                        wire.send_json(conn, wire.FAIL,
+                                       {"name": name, "error": repr(exc),
+                                        "traceback": _tb.format_exc()})
+                except OSError:
+                    return True
+                continue
+            entries = []
+            active = result_store.active()
+            if isinstance(active, CaptureStore):
+                entries = active.drain()
+            if kill_after and results_sent[0] + 1 >= kill_after:
+                os._exit(CHAOS_EXIT_CODE)
+            try:
+                with send_lock:
+                    wire.send_frame(conn, wire.RESULT,
+                                    wire.encode_payload((name, result,
+                                                         entries)))
+            except OSError:
+                return True
+            results_sent[0] += 1
+    finally:
+        heartbeat.stop()
+        result_store.detach()
+
+
+def serve(host: str, port: int) -> int:
+    listener = socket.create_server((host, port))
+    bound_host, bound_port = listener.getsockname()[:2]
+    print(f"LISTENING {bound_host} {bound_port}", flush=True)
+    results_sent = [0]
+    while True:
+        conn, _addr = listener.accept()
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if not _serve_connection(conn, results_sent):
+                return 0
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Socket sweep worker for the cluster executor.")
+    parser.add_argument("--listen", default="127.0.0.1:0",
+                        metavar="HOST:PORT",
+                        help="bind address (port 0 picks a free port; "
+                             "the bound address is printed as a "
+                             "'LISTENING host port' line)")
+    opts = parser.parse_args(argv)
+    host, _, port = opts.listen.rpartition(":")
+    return serve(host or "127.0.0.1", int(port))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,7 +161,8 @@ def characterize_bundles(bundles: dict[str, TraceBundle], *,
                          retry: RetryPolicy | None = None,
                          timeout_s: float | None = None,
                          checkpoint_dir: str | None = None,
-                         resume: bool = False) -> dict[str, IOModel]:
+                         resume: bool = False,
+                         executor=None) -> dict[str, IOModel]:
     """Extract models from many trace bundles in one sweep.
 
     With ``parallel=True`` the bundles' column arrays are published to
@@ -179,7 +180,7 @@ def characterize_bundles(bundles: dict[str, TraceBundle], *,
                      parallel=parallel, max_workers=max_workers,
                      raise_on_error=raise_on_error, retry=retry,
                      timeout_s=timeout_s, checkpoint_dir=checkpoint_dir,
-                     resume=resume)
+                     resume=resume, executor=executor)
 
 
 def estimate_on(model: IOModel, cluster_factory: ClusterFactory,
@@ -325,7 +326,8 @@ def full_study(program: Callable, nprocs: int, *args,
                timeout_s: float | None = None,
                raise_on_error: bool = True,
                checkpoint_dir: str | None = None,
-               resume: bool = False) -> dict:
+               resume: bool = False,
+               executor=None) -> dict:
     """The complete methodology for one application.
 
     Characterize once; estimate on every configuration; optionally
@@ -339,6 +341,10 @@ def full_study(program: Callable, nprocs: int, *args,
     ``parallel=True`` sweeps those unique replays concurrently in
     worker processes (factories must be picklable, i.e. module-level;
     unpicklable sweeps fall back to the serial path).
+    ``executor="cluster"`` (or ``REPRO_EXECUTOR=cluster``) fans the
+    unique replays out to socket workers instead -- see
+    :mod:`repro.core.executors`; results are bit-identical whichever
+    backend runs them.
 
     Resilience (see :mod:`repro.core.sweep`), applied per unique
     replay: ``retry`` re-runs it on transient faults with bounded
@@ -358,7 +364,8 @@ def full_study(program: Callable, nprocs: int, *args,
             parallel=parallel, max_workers=max_workers,
             retry=retry, timeout_s=timeout_s,
             raise_on_error=raise_on_error,
-            checkpoint_dir=checkpoint_dir, resume=resume)
+            checkpoint_dir=checkpoint_dir, resume=resume,
+            executor=executor)
         if obs.ACTIVE:
             for name, report in estimates.items():
                 if not report:  # JobFailure

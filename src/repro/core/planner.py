@@ -96,7 +96,8 @@ class ReplayPlan:
                 retry=None,
                 timeout_s: float | None = None,
                 checkpoint_dir=None,
-                resume: bool = False) -> dict[str, EstimateReport | JobFailure]:
+                resume: bool = False,
+                executor=None) -> dict[str, EstimateReport | JobFailure]:
         """Run the unique jobs and fan results back out per configuration.
 
         Returns ``{config_name: EstimateReport}`` bit-identical to
@@ -115,7 +116,7 @@ class ReplayPlan:
                  for name, job in self.jobs.items()},
             parallel=parallel, max_workers=max_workers,
             raise_on_error=raise_on_error, retry=retry, timeout_s=timeout_s,
-            checkpoint_dir=checkpoint_dir, resume=resume)
+            checkpoint_dir=checkpoint_dir, resume=resume, executor=executor)
         return self.fan_out(results)
 
     def fan_out(self, results: dict[str, Any]

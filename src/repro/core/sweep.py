@@ -2,9 +2,19 @@
 
 The estimation stage is embarrassingly parallel across configurations:
 each ``estimate_on``/``estimate_model`` call is a pure CPU-bound
-function of (model, cluster factory) with no shared state.  With
-``parallel=True`` the sweep fans those calls out over a
-:class:`concurrent.futures.ProcessPoolExecutor`.
+function of (model, cluster factory) with no shared state.
+:func:`sweep_map` fans those calls out over a pluggable *executor*
+backend (:mod:`repro.core.executors`):
+
+* ``serial`` -- in-process, one job at a time;
+* ``pool`` -- a ``ProcessPoolExecutor`` on this machine (what
+  ``parallel=True`` selects);
+* ``cluster`` -- socket master/worker across machines
+  (``executor="cluster"`` or ``REPRO_EXECUTOR=cluster``).
+
+All three are conforming: same jobs, bit-identical result dicts.  The
+backend only runs jobs; everything below is backend-independent and
+lives here.
 
 Resilience features (all opt-in, all composable):
 
@@ -16,77 +26,65 @@ Resilience features (all opt-in, all composable):
   counted in the ``sweep_job_failures_total`` obs metric either way.
 * **retry** -- a :class:`~repro.faults.resilience.RetryPolicy` re-runs
   a job on its retryable (transient-fault) exceptions with bounded
-  exponential backoff, serially in-process or inside the worker.
-* **timeout** -- ``timeout_s`` bounds each job's wall-clock time.  It
-  is enforced on the parallel path (the future is cancelled and the
-  job recorded as a timed-out :class:`JobFailure`); the serial path
-  treats it as advisory (a cooperative single process cannot interrupt
-  itself safely).
+  exponential backoff, inside whichever process runs the job.  The
+  cluster backend additionally reads ``max_attempts`` as its requeue
+  budget for jobs stranded by worker deaths.
+* **timeout** -- ``timeout_s`` bounds each job's wall-clock time on
+  the pool and cluster backends (the job is recorded as a timed-out
+  :class:`JobFailure`); the serial path treats it as advisory (a
+  cooperative single process cannot interrupt itself safely).
 * **checkpointing** -- with ``checkpoint_dir`` every completed job's
   result is pickled to ``<dir>/<job>.ckpt`` via an atomic
   write-temp-then-rename, and ``resume=True`` loads those instead of
-  recomputing, so a sweep killed mid-flight resumes bit-identically.
+  recomputing, so a sweep killed mid-flight resumes bit-identically
+  on any backend.
 
 Requirements and fallbacks:
 
-* parallel jobs (the function and every argument) must be picklable --
-  cluster factories defined at module level qualify, test lambdas do
-  not.  A sweep whose jobs cannot be pickled degrades to the serial
-  path (with checkpoint/retry/error handling intact), so
+* pool/cluster jobs (the function and every argument) must be
+  picklable -- cluster factories defined at module level qualify, test
+  lambdas do not.  A sweep whose jobs cannot be serialized degrades to
+  the serial path (with checkpoint/retry/error handling intact), so
   ``parallel=True`` is always safe to pass;
-* memo caches (:mod:`repro.core.cache`) live per process: workers start
-  with a (forked) copy and their insertions are not merged back.  The
-  parent's caches still serve repeated sweeps;
-* ``repro.obs`` spans recorded inside workers are lost -- observability
-  of parallel sweeps happens at the sweep boundary, not per job.
+* memo caches (:mod:`repro.core.cache`) live per process: workers
+  start cold (or warm from the shared :mod:`repro.store`) and their
+  in-memory insertions are not merged back;
+* ``repro.obs`` spans recorded inside pool/cluster workers are lost --
+  observability of parallel sweeps happens at the sweep boundary
+  (dispatch latency, queue depth, bytes on the wire), not per job.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import hashlib
 import os
 import pickle
 import re
-import traceback
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from repro import obs
-from repro.faults.resilience import RetryPolicy, retry_call
+from repro.faults.resilience import RetryPolicy
 from repro.ioutil import atomic_write_bytes
+
+from .executors import Executor, SerialExecutor, resolve_executor
+from .executors.base import (  # re-exported: historical home of these
+    JobFailure,
+    SweepJobError,
+    job_failure as _failure,
+    run_job as _run_job,
+)
+
+__all__ = [
+    "sweep_map", "JobFailure", "SweepJobError", "checkpoint_path",
+    "CHAOS_KILL_ENV", "CHAOS_EXIT_CODE",
+]
 
 #: Chaos hook (used by the CI kill-and-resume smoke test): when set and
 #: a checkpoint directory is active, the process hard-exits with this
 #: code after ``REPRO_CHAOS_KILL_AFTER`` checkpoints have been written.
 CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_AFTER"
 CHAOS_EXIT_CODE = 17
-
-
-@dataclass
-class JobFailure:
-    """A job that did not produce a result (kept in the result dict)."""
-
-    name: str
-    error: str
-    traceback: str = ""
-    timed_out: bool = False
-
-    def __bool__(self) -> bool:  # failures are falsy: filter with `if v`
-        return False
-
-
-class SweepJobError(RuntimeError):
-    """A sweep job failed under ``raise_on_error=True``."""
-
-    def __init__(self, name: str, error: str, tb: str):
-        super().__init__(
-            f"sweep job {name!r} failed: {error}\n"
-            f"--- job traceback ---\n{tb}")
-        self.job = name
-        self.error = error
-        self.job_traceback = tb
 
 
 # -- checkpoint store ----------------------------------------------------------
@@ -129,91 +127,7 @@ class _ChaosKiller:
             os._exit(CHAOS_EXIT_CODE)
 
 
-# -- zero-copy trace sharing ---------------------------------------------------
-
-def _share_trace_args(jobs: Mapping[str, tuple]) -> tuple[dict, list]:
-    """Swap TraceColumns arguments for shared-memory handles.
-
-    Each distinct columns object is published once
-    (:mod:`repro.tracer.shm`); every job referencing it gets the same
-    tiny handle, so a parallel characterization sweep ships the trace
-    to workers without pickling it per process.  Returns the original
-    mapping untouched (and no handles) when nothing is substitutable.
-    """
-    from repro.tracer import shm as _shm
-    from repro.tracer.columns import TraceColumns
-
-    if not _shm.shm_available():
-        return dict(jobs), []
-    shared: dict[int, Any] = {}
-    handles: list[Any] = []
-    out: dict[str, tuple] = {}
-    changed = False
-    for name, args in jobs.items():
-        new_args = []
-        for a in args:
-            if isinstance(a, TraceColumns):
-                handle = shared.get(id(a))
-                if handle is None:
-                    handle = shared[id(a)] = _shm.share_columns(a)
-                    handles.append(handle)
-                new_args.append(handle)
-                changed = True
-            else:
-                new_args.append(a)
-        out[name] = tuple(new_args)
-    if not changed:
-        return dict(jobs), []
-    return out, handles
-
-
-def _release_shared(handles: list) -> None:
-    if not handles:
-        return
-    from repro.tracer import shm as _shm
-
-    for handle in handles:
-        _shm.release(handle)
-
-
-def _attach_shared_args(args: tuple) -> tuple:
-    """Worker-side inverse of :func:`_share_trace_args`."""
-    from repro.tracer.shm import SharedColumns, attach_columns
-
-    if not any(isinstance(a, SharedColumns) for a in args):
-        return args
-    return tuple(attach_columns(a) if isinstance(a, SharedColumns) else a
-                 for a in args)
-
-
-# -- job execution -------------------------------------------------------------
-
-def _run_job(fn: Callable, args: tuple, retry: RetryPolicy | None,
-             store_root: str | None = None) -> Any:
-    """Worker-side body: one job, optionally under a retry policy.
-
-    ``store_root`` re-attaches the parent's persistent result store in
-    spawned workers (forked ones inherit it); shared-memory trace
-    handles in ``args`` are materialized back into columns here.
-    """
-    if store_root is not None:
-        from repro import store as _result_store
-
-        if _result_store.active() is None:
-            _result_store.attach(store_root)
-    args = _attach_shared_args(args)
-    if retry is None:
-        return fn(*args)
-    return retry_call(fn, *args, policy=retry)
-
-
-def _failure(name: str, exc: BaseException,
-             timed_out: bool = False) -> JobFailure:
-    if obs.ACTIVE:
-        obs.inc("sweep_job_failures_total", job=name)
-    return JobFailure(name=name, error=repr(exc),
-                      traceback=traceback.format_exc(), timed_out=timed_out)
-
+# -- error policy --------------------------------------------------------------
 
 def _resolve(name: str, failure: JobFailure | None, result: Any,
              raise_on_error: bool) -> Any:
@@ -230,12 +144,17 @@ def sweep_map(fn: Callable, jobs: Mapping[str, tuple], parallel: bool = False,
               retry: RetryPolicy | None = None,
               timeout_s: float | None = None,
               checkpoint_dir: str | Path | None = None,
-              resume: bool = False) -> dict[str, Any]:
+              resume: bool = False,
+              executor: str | Executor | None = None) -> dict[str, Any]:
     """Apply ``fn(*args)`` to every ``{name: args}`` job; dict of results.
 
-    Results preserve the jobs' insertion order.  ``parallel=False`` (or
-    a single job, or unpicklable jobs) runs serially in-process.  See
-    the module docstring for the resilience knobs; with
+    Results preserve the jobs' insertion order regardless of which
+    backend ran them or in what order they completed.  The backend is
+    chosen by ``executor`` (a name or an
+    :class:`~repro.core.executors.base.Executor` instance), falling
+    back to the ``REPRO_EXECUTOR`` environment variable and then to
+    the ``parallel`` flag; a zero-or-one-job sweep always runs
+    serially.  See the module docstring for the resilience knobs; with
     ``raise_on_error=False`` failed jobs appear as (falsy)
     :class:`JobFailure` values in the returned dict.
     """
@@ -252,61 +171,18 @@ def sweep_map(fn: Callable, jobs: Mapping[str, tuple], parallel: bool = False,
     todo = {name: args for name, args in jobs.items() if name not in done}
     chaos = _ChaosKiller() if ckpt is not None else None
 
-    use_parallel = parallel and len(todo) > 1
-    shared_handles: list = []
-    store_root: str | None = None
-    if use_parallel:
-        # Publish any TraceColumns argument to shared memory first: the
-        # picklability gate then checks the cheap handles, not the trace.
-        substituted, shared_handles = _share_trace_args(todo)
-        try:
-            pickle.dumps((fn, tuple(substituted.values()), retry))
-            todo = substituted
-        except Exception:
-            use_parallel = False
-            _release_shared(shared_handles)
-            shared_handles = []
-        else:
-            from repro import store as _result_store
-
-            active = _result_store.active()
-            store_root = str(active.root) if active is not None else None
+    backend = resolve_executor(executor, parallel)
+    if len(todo) <= 1 and not isinstance(backend, SerialExecutor):
+        backend = SerialExecutor()  # fan-out cost without fan-out benefit
 
     fresh: dict[str, Any] = {}
-    if not use_parallel:
-        for name, args in todo.items():
-            failure, result = None, None
-            try:
-                result = _run_job(fn, args, retry)
-            except Exception as exc:
-                failure = _failure(name, exc)
-            if failure is None and ckpt is not None:
-                _store_checkpoint(ckpt, name, result)
-                chaos.note_checkpoint()
-            fresh[name] = _resolve(name, failure, result, raise_on_error)
-    else:
-        workers = max_workers or min(len(todo), os.cpu_count() or 1)
-        try:
-            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {name: pool.submit(_run_job, fn, args, retry,
-                                             store_root)
-                           for name, args in todo.items()}
-                for name, fut in futures.items():
-                    failure, result = None, None
-                    try:
-                        result = fut.result(timeout=timeout_s)
-                    except concurrent.futures.TimeoutError as exc:
-                        fut.cancel()
-                        failure = _failure(name, exc, timed_out=True)
-                    except Exception as exc:
-                        failure = _failure(name, exc)
-                    if failure is None and ckpt is not None:
-                        _store_checkpoint(ckpt, name, result)
-                        chaos.note_checkpoint()
-                    fresh[name] = _resolve(name, failure, result,
-                                           raise_on_error)
-        finally:
-            _release_shared(shared_handles)
+    for name, failure, result in backend.run(fn, todo, retry=retry,
+                                             timeout_s=timeout_s,
+                                             max_workers=max_workers):
+        if failure is None and ckpt is not None:
+            _store_checkpoint(ckpt, name, result)
+            chaos.note_checkpoint()
+        fresh[name] = _resolve(name, failure, result, raise_on_error)
 
     # Insertion order of `jobs`, resumed results included.
     return {name: done[name] if name in done else fresh[name]

@@ -155,6 +155,19 @@ def _preregister(reg: MetricsRegistry) -> None:
                 "Sweep jobs that raised or timed out", ("job",))
     reg.counter("sweep_jobs_resumed_total",
                 "Sweep jobs skipped because a checkpoint already existed")
+    reg.histogram("cluster_dispatch_latency_seconds",
+                  "Dispatch-to-result wall time per cluster job",
+                  buckets=SECONDS_BUCKETS)
+    reg.gauge("cluster_queue_depth",
+              "Cluster jobs waiting for a free worker")
+    reg.gauge("cluster_workers", "Connected cluster workers")
+    reg.counter("cluster_bytes_sent_total",
+                "Bytes the cluster master put on the wire")
+    reg.counter("cluster_bytes_recv_total",
+                "Bytes the cluster master received from workers")
+    reg.counter("cluster_requeues_total",
+                "Cluster jobs requeued after a worker death or "
+                "heartbeat timeout")
     reg.counter("quarantined_lines_total",
                 "Trace inputs dropped by quarantine-mode ingest",
                 ("reason",))

@@ -34,9 +34,10 @@ from pathlib import Path
 
 from .disk import ResultStore
 from .keys import SCHEMA_VERSION, UnencodableKey, canonical_bytes, key_digest
+from .memory import CaptureStore
 
 __all__ = [
-    "ResultStore", "SCHEMA_VERSION", "UnencodableKey",
+    "ResultStore", "CaptureStore", "SCHEMA_VERSION", "UnencodableKey",
     "canonical_bytes", "key_digest",
     "ENV_VAR", "DEFAULT_DIRNAME", "attach", "detach", "active",
     "default_root",
@@ -56,10 +57,19 @@ def default_root() -> Path:
     return Path(os.environ.get(ENV_VAR) or DEFAULT_DIRNAME)
 
 
-def attach(root: str | Path | None = None) -> ResultStore:
-    """Attach (or re-attach) the process-wide store; returns it."""
+def attach(root: str | Path | ResultStore | None = None) -> ResultStore:
+    """Attach (or re-attach) the process-wide store; returns it.
+
+    Accepts a directory path (the usual disk-backed store) or an
+    already-constructed :class:`ResultStore` instance -- cluster workers
+    in write-back mode attach a :class:`~repro.store.memory.CaptureStore`
+    this way.
+    """
     global _active, _detached
-    _active = ResultStore(Path(root) if root is not None else default_root())
+    if isinstance(root, ResultStore):
+        _active = root
+    else:
+        _active = ResultStore(Path(root) if root is not None else default_root())
     _detached = False
     return _active
 

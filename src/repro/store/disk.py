@@ -47,6 +47,10 @@ _MISS = (False, None)
 class ResultStore:
     """One cache directory; safe for concurrent multi-process use."""
 
+    #: True when ``root`` is a real directory another process could
+    #: attach (sweep workers forward it); CaptureStore sets it False.
+    persistent = True
+
     def __init__(self, root: str | Path, schema: int = SCHEMA_VERSION):
         self.root = Path(root)
         self.schema = schema
@@ -101,6 +105,15 @@ class ResultStore:
             blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return False
+        return self.put_encoded(cache, digest, blob)
+
+    def put_encoded(self, cache: str, digest: str, blob: bytes) -> bool:
+        """Persist an already-pickled payload under its precomputed digest.
+
+        This is the write-back path for cluster workers: the worker
+        pickles once, ships ``(cache, digest, blob)`` over the wire, and
+        the master lands it here without re-deriving the key.
+        """
         path = self._entry_path(cache, digest)
         envelope = {"schema": self.schema, "cache": cache, "key": digest}
         if len(blob) <= INLINE_LIMIT:

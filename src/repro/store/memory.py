@@ -1,0 +1,89 @@
+"""In-memory capture store for store-less cluster workers.
+
+A worker without filesystem access to the master's cache directory
+still wants warm starts to work: it attaches a :class:`CaptureStore`,
+which satisfies the same interface as the disk-backed
+:class:`~repro.store.disk.ResultStore` but keeps entries in a dict and
+records every write as an encoded ``(cache, digest, blob)`` triple.
+After each job the worker drains the pending triples into the RESULT
+frame; the master lands them in its own store via
+:meth:`~repro.store.disk.ResultStore.put_encoded`, so the next study
+(or the next job on any worker in shared mode) hits warm.
+
+Entries served back out of the dict make repeated sub-computations
+inside one job free, mirroring the memory->disk fall-through of
+``SimCache`` without touching a filesystem.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from .disk import _MISS, ResultStore
+from .keys import SCHEMA_VERSION
+
+__all__ = ["CaptureStore"]
+
+
+class CaptureStore(ResultStore):
+    """ResultStore twin that captures writes instead of persisting them."""
+
+    persistent = False
+
+    def __init__(self, schema: int = SCHEMA_VERSION):
+        super().__init__(root="<capture>", schema=schema)
+        self._entries: dict[tuple[str, str], bytes] = {}
+        self._pending: list[tuple[str, str, bytes]] = []
+
+    # -- read / write ----------------------------------------------------------
+    def get(self, cache: str, key) -> tuple[bool, object]:
+        digest = self.digest(cache, key)
+        if digest is None:
+            return _MISS
+        blob = self._entries.get((cache, digest))
+        if blob is None:
+            return _MISS
+        try:
+            return True, pickle.loads(blob)
+        except Exception:
+            return _MISS
+
+    def put(self, cache: str, key, value) -> bool:
+        digest = self.digest(cache, key)
+        if digest is None:
+            return False
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        return self.put_encoded(cache, digest, blob)
+
+    def put_encoded(self, cache: str, digest: str, blob: bytes) -> bool:
+        self._entries[(cache, digest)] = blob
+        self._pending.append((cache, digest, blob))
+        return True
+
+    def drain(self) -> list[tuple[str, str, bytes]]:
+        """Return and clear the writes captured since the last drain."""
+        out, self._pending = self._pending, []
+        return out
+
+    # -- maintenance -----------------------------------------------------------
+    def caches(self) -> list[str]:
+        return sorted({cache for cache, _ in self._entries})
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        out: dict[str, dict[str, int]] = {}
+        for (cache, _), blob in self._entries.items():
+            agg = out.setdefault(cache, {"entries": 0, "bytes": 0})
+            agg["entries"] += 1
+            agg["bytes"] += len(blob)
+        return out
+
+    def clear(self, cache: str | None = None) -> int:
+        keys = [k for k in self._entries if cache is None or k[0] == cache]
+        for k in keys:
+            del self._entries[k]
+        self._pending = [e for e in self._pending
+                         if cache is not None and e[0] != cache]
+        return len(keys)

@@ -1,0 +1,101 @@
+"""Cluster-mode chaos: kill a worker mid-sweep, get identical output.
+
+The CI cluster job runs this leg: a real ``select_configuration``
+fanned out to localhost socket workers, one of which is rigged
+(``REPRO_CLUSTER_KILL_AFTER``) to hard-exit instead of delivering a
+result.  The master must requeue the stranded job and the study's
+ranking must be byte-for-byte what the serial path produces.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+
+from repro import obs
+from repro.core.executors import ClusterExecutor
+from repro.core.executors.worker import CHAOS_EXIT_CODE
+from repro.core.sweep import sweep_map
+
+
+def _ranking_digest(choice) -> str:
+    return json.dumps(choice.ranking(), sort_keys=True)
+
+
+def test_worker_kill_mid_study_is_invisible(launch_workers):
+    """One dead worker: requeued jobs, bit-identical selection."""
+    from repro.apps.synthetic import SyntheticParams, synthetic_program
+    from repro.clusters import ALL_CONFIGURATIONS
+    from repro.core.estimate import select_configuration
+    from repro.core.pipeline import characterize_app
+
+    factories = {name: ALL_CONFIGURATIONS[name]
+                 for name in ("configuration-A", "configuration-B",
+                              "configuration-C")}
+    model, _ = characterize_app(synthetic_program, 4, SyntheticParams(),
+                                app_name="synthetic")
+    serial = select_configuration(model.phases, factories)
+
+    doomed = launch_workers(1, REPRO_CLUSTER_KILL_AFTER="1")
+    healthy = launch_workers(1)
+    _, reg = obs.enable()
+    try:
+        cluster = select_configuration(
+            model.phases, factories,
+            executor=ClusterExecutor(workers=doomed + healthy))
+        (_, requeues), = reg.get("cluster_requeues_total").samples()
+    finally:
+        obs.disable()
+
+    assert _ranking_digest(cluster) == _ranking_digest(serial)
+    assert cluster.best == serial.best
+    assert requeues.value >= 1
+
+
+def test_killed_worker_exits_with_chaos_code(launch_workers):
+    doomed = launch_workers(1, REPRO_CLUSTER_KILL_AFTER="1")
+    healthy = launch_workers(1)
+    jobs = {f"j{i}": (i, 2) for i in range(6)}
+    out = sweep_map(operator.mul, jobs,
+                    executor=ClusterExecutor(workers=doomed + healthy))
+    assert out == {f"j{i}": i * 2 for i in range(6)}
+    # The master dispatches the first pending job to the doomed worker,
+    # which hard-exits instead of answering; the sweep can only have
+    # completed through a requeue.  The process exit may lag the
+    # master's view of the dropped connection by a beat, so wait on the
+    # handle rather than probing the (possibly still-draining) port.
+    doomed_proc = launch_workers.procs[0]
+    assert doomed_proc.wait(timeout=10) == CHAOS_EXIT_CODE
+    assert CHAOS_EXIT_CODE == 17  # the contract the CI job relies on
+
+
+def test_shared_store_survives_worker_kill(tmp_path, launch_workers):
+    """Warm-start entries written before the kill stay valid."""
+    from repro import store
+    from repro.apps.synthetic import SyntheticParams, synthetic_program
+    from repro.clusters import ALL_CONFIGURATIONS
+    from repro.core.estimate import select_configuration
+    from repro.core.pipeline import characterize_app
+
+    factories = {name: ALL_CONFIGURATIONS[name]
+                 for name in ("configuration-A", "configuration-B")}
+    model, _ = characterize_app(synthetic_program, 4, SyntheticParams(),
+                                app_name="synthetic")
+    serial = select_configuration(model.phases, factories)
+
+    doomed = launch_workers(1, REPRO_CLUSTER_KILL_AFTER="2")
+    healthy = launch_workers(1)
+    rs = store.attach(tmp_path / "cache")
+    try:
+        first = select_configuration(
+            model.phases, factories,
+            executor=ClusterExecutor(workers=doomed + healthy,
+                                     store_mode="writeback"))
+        # Second pass warm-starts from the written-back entries.
+        hits_before = rs.stats().get("ior", {}).get("entries", 0)
+        second = select_configuration(model.phases, factories)
+    finally:
+        store.detach()
+    assert hits_before > 0
+    assert _ranking_digest(first) == _ranking_digest(serial)
+    assert _ranking_digest(second) == _ranking_digest(serial)

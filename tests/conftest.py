@@ -70,6 +70,51 @@ def _no_persistent_store():
 
 
 @pytest.fixture
+def launch_workers():
+    """Factory launching real socket sweep workers; killed on teardown.
+
+    Returns ``spawn(n, env_overrides...) -> [(host, port), ...]``.
+    Workers run ``repro.core.executors.worker`` as subprocesses with
+    the repo's ``src`` on PYTHONPATH, so only functions importable from
+    installed/SRC modules (``operator.mul``, repro factories, ...) can
+    be dispatched to them -- exactly the production constraint.
+    """
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    procs: list[subprocess.Popen] = []
+
+    def spawn(count: int = 1, **env_overrides: str):
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = (src_root + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src_root)
+        env.update(env_overrides)
+        endpoints = []
+        for _ in range(count):
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.core.executors.worker",
+                 "--listen", "127.0.0.1:0"],
+                stdout=subprocess.PIPE, env=env, text=True)
+            procs.append(proc)
+            line = (proc.stdout.readline() or "").split()
+            assert len(line) == 3 and line[0] == "LISTENING", line
+            endpoints.append((line[1], int(line[2])))
+        return endpoints
+
+    spawn.procs = procs  # exposed so tests can wait on worker exit codes
+    yield spawn
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+
+
+@pytest.fixture
 def nfs_cluster() -> Cluster:
     return make_nfs_cluster()
 
