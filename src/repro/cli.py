@@ -13,6 +13,9 @@ Subcommands mirror the methodology's stages::
     repro-io profile   --app madbench2 --np 16 --config configuration-A --out prof/
     repro-io cache     stats|clear|warm [--dir .repro-cache]
     repro-io workers   launch|drain [--count 4] [--port-base 7700]
+    repro-io serve     --listen 127.0.0.1:7600 --journal svc/
+    repro-io submit    --app madbench2 --np 16 --configs configuration-A,... --wait
+    repro-io status    [--batch b000001] [--probe health|ready] [--drain]
     repro-io configs
 
 Applications: madbench2, btio-A/B/C/D, synthetic, ior, roms.
@@ -26,16 +29,10 @@ trace_event and Prometheus artifacts.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import sys
 from pathlib import Path
 
 from repro import __version__, obs
-from repro.apps.btio import BTIOParams, btio_program
-from repro.apps.ior import IORParams, ior_program
-from repro.apps.madbench2 import MADbench2Params, madbench2_program
-from repro.apps.roms import ROMSParams, roms_program
-from repro.apps.synthetic import SyntheticParams, synthetic_program
 from repro.clusters import ALL_CONFIGURATIONS
 from repro.core.estimate import select_configuration
 from repro.core.model import IOModel
@@ -62,41 +59,26 @@ def _app_for(name: str, np: int):
     never disagree.  Process-count constraints (MADbench2 and BT-IO
     need a square count) are validated here, turning what used to be a
     mid-run engine failure into an immediate, readable error.
+
+    The resolution rules live in :func:`repro.service.spec.resolve_app`
+    (shared with the study daemon); the CLI converts its
+    :class:`~repro.service.spec.BadRequest` into a ``SystemExit``.
     """
-    if name == "madbench2":
-        program, params = madbench2_program, MADbench2Params()
-    elif name.startswith("btio"):
-        cls = name.split("-")[1] if "-" in name else "C"
-        program, params = btio_program, BTIOParams(cls=cls)
-    elif name == "synthetic":
-        program, params = synthetic_program, SyntheticParams()
-    elif name == "ior":
-        program, params = ior_program, IORParams()
-    elif name == "roms":
-        program, params = roms_program, ROMSParams()
-    else:
-        raise SystemExit(f"unknown app {name!r} "
-                         "(madbench2, btio-A/B/C/D, synthetic, ior, roms)")
-    if np <= 0:
-        raise SystemExit(f"--np must be positive, got {np}")
-    if name == "madbench2" or name.startswith("btio"):
-        root = int(round(np ** 0.5))
-        if root * root != np:
-            raise SystemExit(
-                f"{name} requires a square number of processes, got --np {np}")
-    if any(f.name == "np" for f in dataclasses.fields(params)):
-        params = dataclasses.replace(params, np=np)
-    return program, params
+    from repro.service.spec import BadRequest, resolve_app
+
+    try:
+        return resolve_app(name, np)
+    except BadRequest as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _factory_for(name: str):
+    from repro.service.spec import BadRequest, resolve_factories
+
     try:
-        return ALL_CONFIGURATIONS[name]
-    except KeyError:
-        raise SystemExit(
-            f"unknown configuration {name!r}; choose from "
-            f"{', '.join(ALL_CONFIGURATIONS)}"
-        ) from None
+        return resolve_factories([name])[name]
+    except BadRequest as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -347,6 +329,11 @@ def cmd_workers(args: argparse.Namespace) -> int:
                 with socket.create_connection((host, port), timeout=5) as s:
                     wire.send_frame(s, wire.DRAIN)
                 print(f"drained {host}:{port}")
+            except ConnectionRefusedError:
+                # Idempotence: nothing listening means the worker is
+                # already gone -- a second drain of the same fleet is a
+                # success, not an error.
+                print(f"{host}:{port} already drained (nothing listening)")
             except OSError as exc:
                 print(f"could not drain {host}:{port}: {exc}",
                       file=sys.stderr)
@@ -385,6 +372,139 @@ def cmd_workers(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         for proc in procs:
             proc.terminate()
+    return 0
+
+
+def _parse_hostport(spec: str, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    try:
+        return host or default_host, int(port)
+    except ValueError:
+        raise SystemExit(f"expected HOST:PORT, got {spec!r}") from None
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.protocol import ServiceClient
+
+    host, port = _parse_hostport(args.server)
+    return ServiceClient(host, port, timeout_s=args.timeout)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the study service daemon until drained (SIGTERM or drain op)."""
+    from repro.service import ServiceConfig, serve_forever
+
+    host, port = _parse_hostport(args.listen)
+    config = ServiceConfig(
+        journal_dir=args.journal, host=host, port=port,
+        workers=args.workers, queue_cap=args.queue_cap,
+        executor=args.executor, cache_dir=args.cache_dir,
+        retry_after_s=args.retry_after, metrics=args.metrics)
+    return serve_forever(config)
+
+
+def _print_batch_rows(rows: list[dict]) -> None:
+    for r in rows:
+        line = f"  {r['id'][:12]} {r['kind']:<12} {r['app']:<10} {r['state']}"
+        if "output_digest" in r:
+            line += f"  digest={r['output_digest'][:12]}"
+        result = r.get("result")
+        if result and "best" in result:
+            line += f"  best={result['best']}"
+        if "error" in r:
+            line += f"  error={r['error']}"
+        print(line)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a batch of study requests to a running daemon."""
+    import json
+
+    client = _service_client(args)
+    if args.batch_file:
+        specs = json.loads(Path(args.batch_file).read_text())
+        if isinstance(specs, dict):
+            specs = specs.get("requests", [specs])
+    else:
+        if not args.app:
+            raise SystemExit("submit needs --app (or --batch-file)")
+        spec: dict = {"kind": args.kind, "app": args.app, "np": args.np}
+        if args.configs:
+            spec["configs"] = args.configs.split(",")
+        if args.deadline is not None:
+            spec["deadline_s"] = args.deadline
+        specs = [spec]
+
+    resp = client.submit_batch(specs)
+    if not resp.get("ok"):
+        if resp.get("error") == "busy":
+            print(f"BUSY: queue {resp['queue_depth']}/{resp['queue_cap']} "
+                  f"full; retry after {resp['retry_after_s']}s",
+                  file=sys.stderr)
+            return 75  # EX_TEMPFAIL: deterministic backpressure
+        print(f"submit refused: {resp.get('error')}: "
+              f"{resp.get('detail', '')}", file=sys.stderr)
+        return 1
+    print(f"batch {resp['batch']}: {len(resp['requests'])} request(s), "
+          f"{resp['deduped']} deduped, queue depth {resp['queue_depth']}")
+    _print_batch_rows(resp["requests"])
+    if not args.wait:
+        return 0
+    client.wait(resp["batch"], timeout_s=args.timeout)
+    res = client.results(resp["batch"])
+    if not res.get("ok"):
+        print(f"results unavailable: {res.get('error')}", file=sys.stderr)
+        return 1
+    print(f"batch {resp['batch']} "
+          f"{'complete' if res['complete'] else 'still running'}:")
+    _print_batch_rows(res["requests"])
+    failed = any(r["state"] == "failed" for r in res["requests"])
+    return 1 if failed or not res["complete"] else 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Probe or inspect a running daemon (health/ready/batch/server)."""
+    client = _service_client(args)
+    if args.drain:
+        resp = client.drain()
+        print(f"draining ({resp.get('pending', '?')} request(s) pending)")
+        return 0 if resp.get("ok") else 1
+    if args.probe:
+        try:
+            resp = client.health() if args.probe == "health" else client.ready()
+        except OSError as exc:
+            print(f"{args.probe}: unreachable ({exc})", file=sys.stderr)
+            return 1
+        ok = bool(resp.get("ok"))
+        print(f"{args.probe}: {'ok' if ok else resp.get('error', 'not ok')}")
+        return 0 if ok else 1
+    if args.batch:
+        resp = client.status(args.batch)
+        if not resp.get("ok"):
+            print(f"status failed: {resp.get('error')}", file=sys.stderr)
+            return 1
+        print(f"batch {args.batch} "
+              f"{'complete' if resp['complete'] else 'in progress'}:")
+        _print_batch_rows(resp["requests"])
+        return 0
+    resp = client.status()
+    if not resp.get("ok"):
+        print(f"status failed: {resp.get('error')}", file=sys.stderr)
+        return 1
+    breaker = resp["breaker"]
+    print(f"study service on {args.server}: {resp['status']} "
+          f"(pid {resp['pid']}, up {resp['uptime_s']:.1f}s)")
+    print(f"  queue {resp['queue_depth']}/{resp['queue_cap']} "
+          f"({resp['running']} running on {resp['workers']} workers)")
+    print(f"  {resp['batches']} batches, {resp['completed_total']} completed, "
+          f"{resp['busy_total']} BUSY rejections, "
+          f"{resp['recovered']} recovered")
+    print(f"  requests by state: {resp['requests'] or '{}'}")
+    print(f"  executor tier: {breaker['current']} "
+          f"(ladder {'->'.join(breaker['tiers'])}, "
+          f"{breaker['trips']} breaker trips"
+          + (f", open: {','.join(breaker['open'])}" if breaker["open"] else "")
+          + ")")
     return 0
 
 
@@ -535,6 +655,73 @@ def build_parser() -> argparse.ArgumentParser:
                    help="endpoints to drain, host:port,host:port "
                         "(default $REPRO_CLUSTER_WORKERS)")
     p.set_defaults(func=cmd_workers)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resilient study service daemon (crash-safe journal, "
+             "admission control, graceful drain)")
+    p.add_argument("--listen", default="127.0.0.1:7600", metavar="HOST:PORT",
+                   help="bind address (port 0 picks a free port; the bound "
+                        "address is printed as a 'LISTENING host port' line)")
+    p.add_argument("--journal", default=".repro-service",
+                   help="journal directory: write-ahead log, result files "
+                        "and replay checkpoints live here; restart with the "
+                        "same directory to recover in-flight batches")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker pool size (default 2)")
+    p.add_argument("--queue-cap", type=int, default=16,
+                   help="admission cap on queued+running requests; beyond "
+                        "it submissions get BUSY (default 16)")
+    p.add_argument("--executor", choices=("serial", "pool", "cluster"),
+                   help="starting executor tier; the circuit breaker "
+                        "degrades cluster -> pool -> serial on "
+                        "infrastructure failures")
+    p.add_argument("--cache-dir",
+                   help="attach this persistent result store "
+                        "(default: $REPRO_CACHE_DIR behaviour)")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   help="advisory backoff carried on BUSY responses "
+                        "(default 1.0s)")
+    p.add_argument("--metrics", action="store_true",
+                   help="enable repro.obs so the 'metrics' op serves "
+                        "Prometheus text (service_* counters, queue gauge)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a batch of study requests to a daemon")
+    p.add_argument("--server", default="127.0.0.1:7600", metavar="HOST:PORT")
+    p.add_argument("--app", help="application to study")
+    p.add_argument("--np", type=int, default=16)
+    p.add_argument("--kind", choices=("select", "characterize", "full_study"),
+                   default="select")
+    p.add_argument("--configs",
+                   help="comma-separated configuration names "
+                        "(select/full_study)")
+    p.add_argument("--deadline", type=float, metavar="SECONDS",
+                   help="per-request deadline, propagated into the study's "
+                        "RetryPolicy timeout")
+    p.add_argument("--batch-file",
+                   help="JSON file with a list of request specs (or "
+                        "{\"requests\": [...]}) instead of --app/--configs")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the batch settles and print results")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="client-side wait timeout (default 300s)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status",
+                       help="inspect a daemon: server stats, batch states, "
+                            "health/readiness probes")
+    p.add_argument("--server", default="127.0.0.1:7600", metavar="HOST:PORT")
+    p.add_argument("--batch", help="show this batch instead of server stats")
+    p.add_argument("--probe", choices=("health", "ready"),
+                   help="liveness/readiness probe: exit 0 when ok "
+                        "(for supervisors and container orchestrators)")
+    p.add_argument("--drain", action="store_true",
+                   help="ask the daemon to drain gracefully (idempotent): "
+                        "finish accepted work, refuse new submissions, exit")
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.set_defaults(func=cmd_status)
 
     p = sub.add_parser("configs", help="list the modeled I/O configurations")
     p.set_defaults(func=cmd_configs)

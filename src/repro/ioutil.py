@@ -12,11 +12,19 @@ file that is safe to delete.
 
 from __future__ import annotations
 
+import itertools
 import os
 import tempfile
+import threading
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
+
+#: Serial for temp names: two threads of one process writing the same
+#: target must never share a temp file (pid alone cannot tell them
+#: apart -- the study service's worker pool writes store entries for
+#: identical digests concurrently).
+_TMP_SEQ = itertools.count()
 
 
 @contextmanager
@@ -49,10 +57,27 @@ def atomic_path(path: str | Path) -> Iterator[Path]:
     """Yield a temp *path* (same directory, same suffix) to hand to
     libraries that write by filename (``np.savez_compressed`` appends
     ``.npz`` unless the name already ends with it); renamed over
-    ``path`` on success, removed on failure."""
+    ``path`` on success, removed on failure.
+
+    The temp name is reserved with ``O_CREAT | O_EXCL`` under a
+    pid+thread+serial suffix, so two writers racing on the same target
+    -- concurrent service workers, sweep processes on a shared
+    filesystem -- can never interleave bytes in one temp file: each
+    writes its own and the final renames settle last-writer-wins with
+    a complete file either way.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp{path.suffix}")
+    while True:
+        tmp = path.with_name(
+            f".{path.stem}.{os.getpid()}.{threading.get_ident():x}."
+            f"{next(_TMP_SEQ):x}.tmp{path.suffix}")
+        try:
+            os.close(os.open(tmp, os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                             0o600))
+        except FileExistsError:
+            continue  # leftover from a crashed writer: pick a new name
+        break
     try:
         yield tmp
         os.replace(tmp, path)

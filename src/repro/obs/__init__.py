@@ -168,6 +168,26 @@ def _preregister(reg: MetricsRegistry) -> None:
     reg.counter("cluster_requeues_total",
                 "Cluster jobs requeued after a worker death or "
                 "heartbeat timeout")
+    reg.counter("service_requests_total",
+                "Study requests admitted by the service")
+    reg.counter("service_batches_total",
+                "Batches admitted by the service")
+    reg.counter("service_busy_total",
+                "Submissions refused with BUSY (admission control)")
+    reg.counter("service_dedup_hits_total",
+                "Submitted requests answered by an existing request")
+    reg.counter("service_recovered_total",
+                "Requests re-enqueued from the journal after a restart")
+    reg.counter("service_completed_total",
+                "Service requests completed successfully", ("kind",))
+    reg.counter("service_failures_total",
+                "Service requests that failed terminally", ("kind",))
+    reg.counter("service_breaker_trips_total",
+                "Executor circuit-breaker trips (tier opened)", ("tier",))
+    reg.gauge("service_queue_depth",
+              "Service requests queued or running")
+    reg.gauge("service_draining",
+              "1 while the service is draining, else 0")
     reg.counter("quarantined_lines_total",
                 "Trace inputs dropped by quarantine-mode ingest",
                 ("reason",))

@@ -1,0 +1,41 @@
+"""repro.service -- the resilient study service.
+
+Turns the one-shot CLI pipeline into a system serving traffic: a
+long-lived daemon (:mod:`.daemon`) accepts batches of study requests
+(``select`` / ``characterize`` / ``full_study`` specs, :mod:`.spec`)
+over a length-prefixed JSON socket protocol (:mod:`.protocol`),
+content-addresses them for dedup, runs them on a bounded worker pool
+behind admission control, and survives its own failures:
+
+* **crash safety** -- a write-ahead journal (:mod:`.journal`) plus
+  atomic result files mean ``kill -9`` + restart recovers every
+  acknowledged batch with bit-identical ``output_digest``;
+* **backpressure** -- over-capacity submissions get a deterministic
+  BUSY response with ``retry_after_s`` instead of queue space;
+* **graceful degradation** -- an executor circuit breaker
+  (:mod:`.breaker`) steps cluster -> pool -> serial when sweep
+  infrastructure dies faster than the retry budget;
+* **graceful drain** -- SIGTERM (or the ``drain`` op) refuses new
+  work and finishes what was accepted.
+
+CLI: ``repro-io serve | submit | status``; failure semantics are
+documented in docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+from .breaker import CircuitBreaker, ladder_for
+from .daemon import ServiceConfig, StudyService, serve_forever
+from .journal import Journal, canonical_json
+from .protocol import ServiceClient, ServiceError
+from .runner import result_digest, run_request
+from .spec import BadRequest, normalize, spec_digest
+
+__all__ = [
+    "ServiceConfig", "StudyService", "serve_forever",
+    "ServiceClient", "ServiceError",
+    "Journal", "canonical_json",
+    "CircuitBreaker", "ladder_for",
+    "BadRequest", "normalize", "spec_digest",
+    "run_request", "result_digest",
+]

@@ -1,0 +1,121 @@
+"""Executor circuit breaker: degrade cluster -> pool -> serial.
+
+The daemon never refuses work because its *infrastructure* is sick --
+studies are pure in-process computations at heart, so there is always
+a tier that can run them (the serial backend).  What the breaker
+prevents is paying the cluster's connect/handshake/requeue tax on
+every request while workers are dying faster than the retry budget
+absorbs: after ``threshold`` consecutive infrastructure failures a
+tier's circuit opens and requests start at the next tier down.  After
+``cooldown_s`` the circuit goes half-open -- the next request probes
+the tier once; success closes it, failure re-opens it for another
+cooldown.
+
+Infrastructure failures are connection/worker-pool errors raised by a
+backend *around* a job, not errors raised *by* a job: a study that
+raises on every backend is the request's problem and is reported as a
+request failure, not held against the tier.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+
+__all__ = ["CircuitBreaker", "INFRA_ERRORS", "ladder_for"]
+
+#: Exception types that indicate the *backend*, not the request, failed.
+#: BrokenProcessPool subclasses RuntimeError; worker-spawn failures in
+#: the cluster backend raise RuntimeError too.
+INFRA_ERRORS = (ConnectionError, OSError, RuntimeError)
+
+_LADDER = ("cluster", "pool", "serial")
+
+
+def ladder_for(executor: str | None) -> tuple[str, ...]:
+    """Degradation ladder starting at the configured tier.
+
+    ``cluster -> pool -> serial``; ``pool -> serial``; ``serial`` (or
+    nothing configured) has nowhere to fall and never trips.
+    """
+    if executor is None:
+        return ("serial",)
+    try:
+        start = _LADDER.index(executor)
+    except ValueError:
+        raise ValueError(f"unknown executor tier {executor!r}; "
+                         f"one of {_LADDER}") from None
+    return _LADDER[start:]
+
+
+class CircuitBreaker:
+    """Per-tier failure tracking with open/half-open/closed circuits."""
+
+    def __init__(self, tiers: tuple[str, ...],
+                 threshold: int = 2, cooldown_s: float = 30.0,
+                 clock=time.monotonic):
+        if not tiers:
+            raise ValueError("need at least one executor tier")
+        self.tiers = tuple(tiers)
+        self.threshold = max(1, threshold)
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = {t: 0 for t in self.tiers}
+        self._open_until = {t: 0.0 for t in self.tiers}
+        self._trips = 0
+
+    # -- queries ---------------------------------------------------------------
+    def plan(self) -> list[str]:
+        """Tiers to try for one request, preferred first.
+
+        Open circuits are skipped (unless their cooldown has expired,
+        which lets one request probe them); the last tier is always
+        included so a request can never find an empty plan.
+        """
+        now = self._clock()
+        with self._lock:
+            usable = [t for t in self.tiers if now >= self._open_until[t]]
+        if not usable:
+            usable = [self.tiers[-1]]
+        return usable
+
+    def current_tier(self) -> str:
+        return self.plan()[0]
+
+    # -- updates ---------------------------------------------------------------
+    def record_success(self, tier: str) -> None:
+        with self._lock:
+            self._failures[tier] = 0
+            self._open_until[tier] = 0.0
+
+    def record_failure(self, tier: str) -> bool:
+        """Count one infrastructure failure; True when the circuit opened."""
+        with self._lock:
+            self._failures[tier] += 1
+            already_open = self._open_until[tier] > 0.0
+            tripped = self._failures[tier] >= self.threshold
+            if tripped:
+                self._open_until[tier] = self._clock() + self.cooldown_s
+                if not already_open:
+                    self._trips += 1
+        if tripped and obs.ACTIVE:
+            obs.inc("service_breaker_trips_total", tier=tier)
+        return tripped
+
+    def state(self) -> dict:
+        """JSON-friendly snapshot for the status/stats API."""
+        now = self._clock()
+        with self._lock:
+            return {
+                "tiers": list(self.tiers),
+                "current": next(
+                    (t for t in self.tiers if now >= self._open_until[t]),
+                    self.tiers[-1]),
+                "open": sorted(t for t in self.tiers
+                               if now < self._open_until[t]),
+                "failures": dict(self._failures),
+                "trips": self._trips,
+            }

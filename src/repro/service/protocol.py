@@ -1,0 +1,125 @@
+"""Service wire protocol and client.
+
+The daemon speaks length-prefixed JSON over TCP, reusing the framing
+primitives of :mod:`repro.core.executors.wire` (the ``!IB`` header,
+:func:`~repro.core.executors.wire.send_json`,
+:func:`~repro.core.executors.wire.recv_frame`) with two new frame
+types: REQUEST (client -> daemon) and RESPONSE (daemon -> client).
+Every payload is a JSON object; a connection carries any number of
+sequential request/response pairs and either side may close between
+pairs.
+
+Requests are ``{"op": ..., ...}``; responses always carry ``"ok"``.
+Refusals are *responses*, not errors: ``{"ok": false, "error": <code>,
+...}`` with machine-readable codes (``busy``, ``draining``,
+``bad_request``, ``not_found``, ``not_ready``), so clients can react
+to backpressure (``retry_after_s``) without parsing prose.
+
+:class:`ServiceClient` is the blocking convenience wrapper the CLI and
+tests use -- one connection per call, so a crashed daemon shows up as
+``ConnectionError`` at the next call, never a wedged socket.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.core.executors import wire
+
+__all__ = ["REQUEST", "RESPONSE", "ServiceError", "ServiceClient",
+           "request_once"]
+
+#: Service frame types; numbered far from the executor protocol's 1-9
+#: so a service frame sent to a sweep worker (or vice versa) is
+#: recognizably foreign instead of quietly misparsed.
+REQUEST = 32
+RESPONSE = 33
+
+
+class ServiceError(RuntimeError):
+    """A transport- or protocol-level failure (not a refusal response)."""
+
+
+def request_once(host: str, port: int, payload: dict,
+                 timeout_s: float = 30.0) -> dict:
+    """One request/response exchange on a fresh connection."""
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        wire.send_json(sock, REQUEST, payload)
+        frame = wire.recv_frame(sock)
+    if frame is None:
+        raise ServiceError(f"service at {host}:{port} closed the connection")
+    ftype, body = frame
+    if ftype != RESPONSE:
+        raise ServiceError(f"expected RESPONSE frame, got type {ftype}")
+    import json
+
+    return json.loads(body.decode("utf-8"))
+
+
+class ServiceClient:
+    """Blocking client for the study service."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def call(self, op: str, **fields) -> dict:
+        payload = {"op": op}
+        payload.update(fields)
+        return request_once(self.host, self.port, payload,
+                            timeout_s=self.timeout_s)
+
+    # -- the API ---------------------------------------------------------------
+    def submit_batch(self, requests: list[dict]) -> dict:
+        return self.call("submit_batch", requests=requests)
+
+    def status(self, batch: str | None = None) -> dict:
+        return self.call("status", **({"batch": batch} if batch else {}))
+
+    def results(self, batch: str) -> dict:
+        return self.call("results", batch=batch)
+
+    def wait(self, batch: str, timeout_s: float = 60.0) -> dict:
+        """Block (server-side) until the batch settles or the timeout."""
+        return self.call("wait", batch=batch, timeout_s=timeout_s)
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def ready(self) -> dict:
+        return self.call("ready")
+
+    def metrics(self) -> dict:
+        return self.call("metrics")
+
+    def drain(self) -> dict:
+        return self.call("drain")
+
+    # -- conveniences ----------------------------------------------------------
+    def submit_and_wait(self, requests: list[dict],
+                        timeout_s: float = 120.0) -> dict:
+        """Submit, wait for completion, return the results response."""
+        sub = self.submit_batch(requests)
+        if not sub.get("ok"):
+            return sub
+        self.wait(sub["batch"], timeout_s=timeout_s)
+        return self.results(sub["batch"])
+
+    def wait_ready(self, timeout_s: float = 30.0,
+                   poll_s: float = 0.05) -> dict:
+        """Poll the readiness probe until it reports ready (or timeout)."""
+        deadline = time.monotonic() + timeout_s
+        last: dict = {"ok": False, "error": "never polled"}
+        while time.monotonic() < deadline:
+            try:
+                last = self.ready()
+            except (OSError, ServiceError) as exc:
+                last = {"ok": False, "error": repr(exc)}
+            else:
+                if last.get("ok"):
+                    return last
+            time.sleep(poll_s)
+        raise TimeoutError(f"service not ready after {timeout_s}s: {last}")

@@ -1,0 +1,122 @@
+"""Execute one service request spec into a deterministic JSON result.
+
+The runner is the bridge between the daemon's JSON world and the
+methodology pipeline: it resolves the spec's app and configurations,
+runs the study through the replay planner (dedup across configs) and
+whatever executor tier the circuit breaker currently allows, and
+reduces the outcome to a plain-JSON result whose canonical encoding is
+hashed into ``output_digest``.  Studies are pure functions of their
+spec, so the digest is bit-identical across runs, schedules, executor
+backends, and -- the property the chaos CI leg asserts -- across a
+``kill -9`` + journal recovery.
+
+Deadlines: ``deadline_s`` becomes the per-job wall-clock budget of the
+study's :class:`~repro.faults.resilience.RetryPolicy` (and the sweep's
+``timeout_s``), so a request cannot pin a worker past the time its
+client was willing to wait.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.faults.resilience import RetryPolicy
+
+from .journal import canonical_json
+from .spec import resolve_app, resolve_factories
+
+__all__ = ["run_request", "result_digest"]
+
+
+def result_digest(result: dict) -> str:
+    """sha256 over the canonical JSON encoding of a result."""
+    return hashlib.sha256(canonical_json(result).encode("utf-8")).hexdigest()
+
+
+def _retry_for(retry: RetryPolicy | None, deadline_s: float | None):
+    """Fold the request deadline into the retry policy's timeout.
+
+    The tighter of (existing policy timeout, request deadline) wins;
+    the effective timeout is also returned for the sweep layer, which
+    enforces it on parallel backends.
+    """
+    timeout = deadline_s
+    if retry is not None and retry.timeout_s is not None:
+        timeout = (retry.timeout_s if timeout is None
+                   else min(retry.timeout_s, timeout))
+    if retry is None:
+        policy = RetryPolicy(timeout_s=timeout)
+    elif timeout != retry.timeout_s:
+        policy = RetryPolicy(max_attempts=retry.max_attempts,
+                             backoff_s=retry.backoff_s,
+                             backoff_factor=retry.backoff_factor,
+                             max_backoff_s=retry.max_backoff_s,
+                             retry_on=retry.retry_on,
+                             timeout_s=timeout)
+    else:
+        policy = retry
+    return policy, timeout
+
+
+def run_request(spec: dict, *, executor=None,
+                retry: RetryPolicy | None = None,
+                checkpoint_dir: str | Path | None = None) -> dict:
+    """Run one normalized spec; returns its plain-JSON result.
+
+    ``executor`` is a backend name or instance (see
+    :mod:`repro.core.executors`); ``checkpoint_dir`` makes the study's
+    unique replays individually durable, so a re-run after a crash
+    resumes from the last completed replay instead of from scratch.
+    """
+    from repro.core.estimate import select_configuration
+    from repro.core.pipeline import characterize_app, full_study
+
+    kind = spec["kind"]
+    program, params = resolve_app(spec["app"], spec["np"])
+    policy, timeout_s = _retry_for(retry, spec.get("deadline_s"))
+    ckpt = str(checkpoint_dir) if checkpoint_dir is not None else None
+    resume = ckpt is not None
+
+    if kind == "characterize":
+        model, bundle = characterize_app(program, spec["np"], params,
+                                         app_name=spec["app"])
+        result = {
+            "kind": kind, "app": spec["app"], "np": spec["np"],
+            "nphases": model.nphases, "nevents": bundle.nevents,
+            "phases": [
+                {"phase_id": ph.phase_id, "op": ph.op_label,
+                 "np": ph.np, "rep": ph.rep, "weight": ph.weight}
+                for ph in model.phases],
+        }
+    elif kind == "select":
+        model, _ = characterize_app(program, spec["np"], params,
+                                    app_name=spec["app"])
+        factories = resolve_factories(spec["configs"])
+        choice = select_configuration(
+            model.phases, factories, retry=policy, timeout_s=timeout_s,
+            checkpoint_dir=ckpt, resume=resume,
+            lattice=spec.get("lattice", False), executor=executor)
+        result = {
+            "kind": kind, "app": spec["app"], "np": spec["np"],
+            "best": choice.best,
+            "totals": {name: t for name, t in sorted(choice.total_times.items())},
+        }
+    elif kind == "full_study":
+        factories = resolve_factories(spec["configs"])
+        study = full_study(program, spec["np"], params,
+                           cluster_factories=factories,
+                           app_name=spec["app"], retry=policy,
+                           timeout_s=timeout_s, checkpoint_dir=ckpt,
+                           resume=resume, executor=executor)
+        result = {
+            "kind": kind, "app": spec["app"], "np": spec["np"],
+            "best": study["selection"]["best"],
+            "totals": {name: t for name, t
+                       in sorted(study["selection"]["totals"].items())},
+            "nphases": study["model"].nphases,
+        }
+    else:  # normalize() guarantees this cannot happen on journaled specs
+        raise ValueError(f"unknown request kind {kind!r}")
+    result["output_digest"] = result_digest(result)
+    return result

@@ -9,12 +9,16 @@ never contend on one database file)::
           <digest>.json        envelope: schema, cache, digest, payload
           <digest>.bin         sidecar for payloads > INLINE_LIMIT bytes
 
-Every write is an atomic write-temp-then-rename (:mod:`repro.ioutil`),
-so a reader -- including a worker in another process -- sees either the
-complete entry or nothing; a killed writer leaves at worst an orphaned
-``*.tmp*`` file.  The sidecar (when present) is written *before* the
-envelope that references it, so an envelope on disk always points at a
-complete payload.
+Every write is an atomic write-temp-then-rename (:mod:`repro.ioutil`)
+under a collision-proof temp name (``O_EXCL``, pid+thread+serial), so
+a reader -- including a worker in another process or a sibling service
+worker thread -- sees either the complete entry or nothing; two
+writers racing on the same digest settle last-writer-wins with a
+complete entry either way (stress-tested by
+``tests/store/test_concurrent_writers.py``).  A killed writer leaves
+at worst an orphaned ``*.tmp*`` file.  The sidecar (when present) is
+written *before* the envelope that references it, so an envelope on
+disk always points at a complete payload.
 
 Values are pickled (results are plain dataclasses of floats, ints and
 ``Fraction`` coefficients; the round-trip is bit-exact).  Entries whose

@@ -1,0 +1,132 @@
+"""Service chaos: kill -9 mid-batch, restart, bit-identical recovery.
+
+The CI service job runs this leg.  A real daemon subprocess is rigged
+(``REPRO_SERVICE_KILL_AFTER=1``) to hard-exit right after journaling
+its first DONE record -- i.e. with one result durable and the rest of
+the batch in flight.  The restarted daemon must adopt the durable
+result, re-enqueue the rest, and deliver ``output_digest`` values
+byte-for-byte identical to a never-crashed run.
+
+The second leg pins down the backpressure contract: a wedged daemon
+(slow jobs, one worker, tiny queue) answers over-capacity submissions
+with a deterministic BUSY refusal, never by queueing unboundedly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.service import ServiceClient
+from repro.service.daemon import CHAOS_EXIT_CODE, KILL_ENV, SLOW_ENV
+from repro.service.runner import run_request
+from repro.service.spec import normalize, spec_digest
+
+SPECS = [
+    {"kind": "characterize", "app": "synthetic", "np": 4},
+    {"kind": "select", "app": "synthetic", "np": 4,
+     "configs": "configuration-A"},
+    {"kind": "select", "app": "synthetic", "np": 4,
+     "configs": "configuration-B"},
+]
+
+
+@pytest.fixture
+def launch_daemon(tmp_path):
+    """Spawn ``repro-io serve`` subprocesses; killed on teardown."""
+    procs: list[subprocess.Popen] = []
+
+    def spawn(journal: Path, **env_overrides: str) -> tuple[
+            subprocess.Popen, ServiceClient]:
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = (src_root + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src_root)
+        env.update(env_overrides)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--listen", "127.0.0.1:0", "--journal", str(journal),
+             "--workers", "1", "--queue-cap", "8"],
+            stdout=subprocess.PIPE, env=env, text=True)
+        procs.append(proc)
+        line = (proc.stdout.readline() or "").split()
+        assert len(line) == 3 and line[0] == "LISTENING", line
+        client = ServiceClient(line[1], int(line[2]), timeout_s=60)
+        client.wait_ready(timeout_s=30)
+        return proc, client
+
+    spawn.procs = procs
+    yield spawn
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+
+
+def test_kill9_mid_batch_recovers_bit_identically(tmp_path, launch_daemon):
+    # Reference digests from a never-crashed, in-process run.
+    reference = {spec_digest(normalize(s)): run_request(normalize(s))
+                 ["output_digest"] for s in SPECS}
+
+    journal = tmp_path / "svc"
+    # SLOW_ENV paces the single worker so the submit response is safely
+    # on the wire before the first DONE pulls the trigger.
+    doomed, client = launch_daemon(journal, **{KILL_ENV: "1",
+                                               SLOW_ENV: "0.5"})
+    sub = client.submit_batch(SPECS)
+    assert sub["ok"] and len(sub["requests"]) == 3
+
+    # The daemon journals its first DONE, then hard-exits: no drain, no
+    # atexit, nothing -- the closest a test gets to yanking the cord.
+    assert doomed.wait(timeout=60) == CHAOS_EXIT_CODE
+    assert CHAOS_EXIT_CODE == 29  # the contract the CI job relies on
+
+    _, client2 = launch_daemon(journal)
+    stats = client2.status()
+    assert stats["completed_total"] >= 1  # the durable result survived
+    assert stats["recovered"] == 2  # the in-flight rest was re-enqueued
+
+    res = client2.submit_and_wait(SPECS, timeout_s=120)
+    assert res["ok"] and res["complete"]
+    recovered = {r["id"]: r["output_digest"] for r in res["requests"]}
+    assert recovered == reference  # bit-identical across the crash
+
+    client2.drain()
+
+
+def test_over_capacity_load_gets_deterministic_busy(tmp_path,
+                                                    launch_daemon):
+    _, client = launch_daemon(tmp_path / "svc", **{SLOW_ENV: "1.0"})
+    # One slow worker, capacity 8: wedge the queue right up to the cap
+    # with eight distinct specs (distinct digests, so no dedup relief).
+    wedge = [{"kind": "select", "app": "synthetic", "np": 4,
+              "configs": f"configuration-{c}", "lattice": bool(l)}
+             for c in "ABC" for l in (0, 1)]
+    wedge += [{"kind": "characterize", "app": "synthetic", "np": np}
+              for np in (4, 9)]
+    probe = {"kind": "full_study", "app": "synthetic", "np": 4,
+             "configs": "configuration-A"}
+    sub = client.submit_batch(wedge)
+    assert sub["ok"] and sub["queue_depth"] == 8
+
+    for _ in range(3):  # every refusal is the same, machine-readable
+        busy = client.submit_batch([probe])
+        assert busy["ok"] is False and busy["error"] == "busy"
+        assert busy["retry_after_s"] == 1.0
+        assert busy["queue_cap"] == 8
+        assert busy["queue_depth"] >= 7  # at most one job finished yet
+
+    assert client.health()["ok"]  # overload never takes out liveness
+    res = client.wait(sub["batch"], timeout_s=120)
+    assert res["complete"]
+
+    after = client.submit_batch([probe])  # capacity came back
+    assert after["ok"]
+    client.wait(after["batch"], timeout_s=120)
+    assert client.status()["busy_total"] == 3
+    client.drain()

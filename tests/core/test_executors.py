@@ -210,6 +210,50 @@ def test_resolve_executor_precedence(monkeypatch):
         resolve_executor("carrier-pigeon", False)
 
 
+def test_resolve_executor_instance_beats_name_env_and_flag(monkeypatch):
+    """An Executor instance wins outright, whatever else is set."""
+    monkeypatch.setenv("REPRO_EXECUTOR", "cluster")
+    inst = SerialExecutor()
+    assert resolve_executor(inst, True) is inst
+    assert resolve_executor(inst, False) is inst
+
+
+def test_resolve_executor_name_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "cluster")
+    assert isinstance(resolve_executor("pool", False), PoolExecutor)
+    assert isinstance(resolve_executor("serial", True), SerialExecutor)
+
+
+def test_resolve_executor_env_beats_parallel_flag(monkeypatch):
+    """The env var overrides the legacy flag in *both* directions."""
+    monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+    assert isinstance(resolve_executor(None, True), SerialExecutor)
+    monkeypatch.setenv("REPRO_EXECUTOR", "pool")
+    assert isinstance(resolve_executor(None, False), PoolExecutor)
+
+
+def test_resolve_executor_empty_env_falls_through(monkeypatch):
+    """``REPRO_EXECUTOR=`` (set but empty) behaves like unset."""
+    monkeypatch.setenv("REPRO_EXECUTOR", "")
+    assert isinstance(resolve_executor(None, False), SerialExecutor)
+    assert isinstance(resolve_executor(None, True), PoolExecutor)
+
+
+@pytest.mark.parametrize("bad", ["Cluster", " pool ", "threads", "0"])
+def test_resolve_executor_invalid_env_raises(monkeypatch, bad):
+    """A bogus env value fails loudly instead of silently going serial."""
+    monkeypatch.setenv("REPRO_EXECUTOR", bad)
+    with pytest.raises(ValueError, match="unknown executor"):
+        resolve_executor(None, False)
+
+
+def test_resolve_executor_invalid_name_beats_invalid_env(monkeypatch):
+    """The error names the *argument*, not the env var, when both are bad."""
+    monkeypatch.setenv("REPRO_EXECUTOR", "bogus-env")
+    with pytest.raises(ValueError, match="carrier-pigeon"):
+        resolve_executor("carrier-pigeon", False)
+
+
 def test_single_job_sweep_stays_serial(monkeypatch):
     """A one-job sweep never pays fan-out cost, whatever the backend."""
     calls = []

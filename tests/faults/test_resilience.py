@@ -84,3 +84,50 @@ def test_backoff_sleeps_are_paced():
     slept = []
     retry_call(flaky(2), policy=policy, sleep=slept.append)
     assert slept == [0.5, 1.0]
+
+
+def test_backoff_sequence_is_reproducible():
+    """Same policy, same failures -> bit-identical sleep sequence.
+
+    No jitter by design (module docstring): two runs of the same flaky
+    workload pace their retries identically, which keeps chaos tests
+    and the service's deadline math deterministic.
+    """
+    policy = RetryPolicy(max_attempts=6, backoff_s=0.05, backoff_factor=3.0,
+                         max_backoff_s=0.9)
+    runs = []
+    for _ in range(2):
+        slept = []
+        retry_call(flaky(5), policy=policy, sleep=slept.append)
+        runs.append(slept)
+    assert runs[0] == runs[1] == [policy.delay(a) for a in range(1, 6)]
+    assert runs[0][3:] == [0.9, 0.9]  # tail is capped
+
+
+def test_zero_backoff_never_sleeps():
+    policy = RetryPolicy(max_attempts=4, backoff_s=0.0)
+    slept = []
+    retry_call(flaky(3), policy=policy, sleep=slept.append)
+    assert slept == []  # delay == 0 skips the sleep call entirely
+
+
+def test_constant_backoff_with_unit_factor():
+    policy = RetryPolicy(max_attempts=5, backoff_s=0.2, backoff_factor=1.0,
+                         max_backoff_s=10.0)
+    assert [policy.delay(a) for a in range(1, 5)] == [0.2] * 4
+
+
+def test_cap_below_base_clamps_every_delay():
+    policy = RetryPolicy(max_attempts=4, backoff_s=0.5, backoff_factor=2.0,
+                         max_backoff_s=0.1)
+    assert [policy.delay(a) for a in range(1, 4)] == [0.1] * 3
+
+
+def test_policy_is_frozen_and_hashable():
+    """Policies are shared across threads by the service; they must be
+    immutable values, safe to reuse and to key on."""
+    policy = RetryPolicy(max_attempts=2, timeout_s=5.0)
+    with pytest.raises(Exception):
+        policy.max_attempts = 99
+    assert policy == RetryPolicy(max_attempts=2, timeout_s=5.0)
+    assert hash(policy) == hash(RetryPolicy(max_attempts=2, timeout_s=5.0))

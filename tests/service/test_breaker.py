@@ -1,0 +1,112 @@
+"""Circuit breaker: trip, skip, probe, recover -- with a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.breaker import INFRA_ERRORS, CircuitBreaker, ladder_for
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+def make(tiers=("cluster", "pool", "serial"), threshold=2, cooldown=30.0):
+    clock = FakeClock()
+    return CircuitBreaker(tiers, threshold=threshold, cooldown_s=cooldown,
+                          clock=clock), clock
+
+
+def test_ladder_for():
+    assert ladder_for(None) == ("serial",)
+    assert ladder_for("serial") == ("serial",)
+    assert ladder_for("pool") == ("pool", "serial")
+    assert ladder_for("cluster") == ("cluster", "pool", "serial")
+    with pytest.raises(ValueError, match="hovercraft"):
+        ladder_for("hovercraft")
+
+
+def test_empty_ladder_is_rejected():
+    with pytest.raises(ValueError):
+        CircuitBreaker(())
+
+
+def test_trips_only_at_threshold():
+    breaker, _ = make(threshold=3)
+    assert breaker.record_failure("cluster") is False
+    assert breaker.record_failure("cluster") is False
+    assert breaker.plan()[0] == "cluster"  # still closed below threshold
+    assert breaker.record_failure("cluster") is True
+    assert breaker.plan() == ["pool", "serial"]
+
+
+def test_success_resets_the_failure_count():
+    breaker, _ = make(threshold=2)
+    breaker.record_failure("cluster")
+    breaker.record_success("cluster")
+    assert breaker.record_failure("cluster") is False  # count started over
+    assert breaker.plan()[0] == "cluster"
+
+
+def test_half_open_after_cooldown_then_close_or_reopen():
+    breaker, clock = make(threshold=1, cooldown=30.0)
+    breaker.record_failure("cluster")
+    assert breaker.plan() == ["pool", "serial"]
+
+    clock.advance(29.9)
+    assert breaker.plan() == ["pool", "serial"]  # still cooling down
+    clock.advance(0.2)
+    assert breaker.plan()[0] == "cluster"  # half-open: one probe allowed
+
+    # The probe fails: re-opened for another full cooldown.
+    breaker.record_failure("cluster")
+    assert breaker.plan() == ["pool", "serial"]
+    clock.advance(30.1)
+    assert breaker.plan()[0] == "cluster"
+
+    # The probe succeeds this time: fully closed again.
+    breaker.record_success("cluster")
+    assert breaker.plan() == ["cluster", "pool", "serial"]
+
+
+def test_last_tier_is_always_available():
+    """Even with every circuit open a request gets a plan."""
+    breaker, _ = make(threshold=1)
+    for tier in ("cluster", "pool", "serial"):
+        breaker.record_failure(tier)
+    assert breaker.plan() == ["serial"]
+
+
+def test_state_snapshot():
+    breaker, _ = make(threshold=1)
+    breaker.record_failure("cluster")
+    state = breaker.state()
+    assert state["current"] == "pool"
+    assert state["open"] == ["cluster"]
+    assert state["failures"]["cluster"] == 1
+    assert state["trips"] == 1
+
+
+def test_reopening_an_open_circuit_is_one_trip():
+    breaker, _ = make(threshold=1)
+    assert breaker.record_failure("cluster") is True
+    assert breaker.record_failure("cluster") is True  # still open
+    assert breaker.state()["trips"] == 1
+
+
+def test_infra_errors_cover_the_backends():
+    """The classification the daemon relies on: pool/cluster plumbing
+    failures are INFRA, a job's own SweepJobError is caught separately
+    *before* this tuple (it subclasses RuntimeError)."""
+    from repro.core.executors.base import SweepJobError
+
+    assert issubclass(ConnectionRefusedError, INFRA_ERRORS)
+    assert issubclass(BrokenPipeError, INFRA_ERRORS)
+    assert issubclass(SweepJobError, RuntimeError)

@@ -1,0 +1,81 @@
+"""Spec validation, normalization and content addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.spec import BadRequest, normalize, spec_digest
+
+
+def test_normalize_fills_defaults():
+    spec = normalize({"app": "synthetic", "configs": "configuration-A"})
+    assert spec == {"kind": "select", "app": "synthetic", "np": 16,
+                    "configs": ["configuration-A"], "lattice": False}
+
+
+def test_normalize_splits_comma_configs():
+    spec = normalize({"kind": "full_study", "app": "synthetic", "np": 4,
+                      "configs": "configuration-A,configuration-B"})
+    assert spec["configs"] == ["configuration-A", "configuration-B"]
+
+
+def test_characterize_needs_no_configs():
+    spec = normalize({"kind": "characterize", "app": "synthetic", "np": 4})
+    assert "configs" not in spec and "lattice" not in spec
+
+
+@pytest.mark.parametrize("raw, match", [
+    ("not a dict", "must be an object"),
+    ({"kind": "bake", "app": "synthetic"}, "unknown request kind"),
+    ({"kind": "select"}, "needs an 'app'"),
+    ({"app": "nonesuch", "configs": "configuration-A"}, "unknown app"),
+    ({"app": "synthetic", "np": "four", "configs": "configuration-A"},
+     "np must be an integer"),
+    ({"app": "synthetic", "np": True, "configs": "configuration-A"},
+     "np must be an integer"),
+    ({"app": "synthetic", "np": -2, "configs": "configuration-A"},
+     "positive"),
+    ({"app": "madbench2", "np": 10, "configs": "configuration-A"},
+     "square"),
+    ({"app": "synthetic"}, "'configs' list"),
+    ({"app": "synthetic", "configs": "atlantis-9"},
+     "unknown configuration"),
+    ({"app": "synthetic", "configs": "configuration-A",
+      "deadline_s": 0}, "deadline_s must be positive"),
+    ({"app": "synthetic", "configs": "configuration-A",
+      "deadline_s": "soon"}, "deadline_s must be a number"),
+])
+def test_bad_specs_are_rejected(raw, match):
+    with pytest.raises(BadRequest, match=match):
+        normalize(raw)
+
+
+def test_digest_is_stable_across_field_order():
+    a = normalize({"app": "synthetic", "np": 4, "configs": "configuration-A"})
+    b = normalize({"configs": ["configuration-A"], "np": 4,
+                   "app": "synthetic", "kind": "select"})
+    assert spec_digest(a) == spec_digest(b)
+
+
+def test_deadline_is_outside_the_digest():
+    """QoS must not defeat dedup: same study, tighter deadline, one run."""
+    base = {"app": "synthetic", "np": 4, "configs": "configuration-A"}
+    relaxed = normalize(dict(base, deadline_s=600))
+    urgent = normalize(dict(base, deadline_s=5))
+    assert spec_digest(relaxed) == spec_digest(urgent) == \
+        spec_digest(normalize(base))
+
+
+def test_result_determining_fields_change_the_digest():
+    base = normalize({"app": "synthetic", "np": 4,
+                      "configs": "configuration-A"})
+    for variant in (
+        {"app": "synthetic", "np": 9, "configs": "configuration-A"},
+        {"app": "ior", "np": 4, "configs": "configuration-A"},
+        {"app": "synthetic", "np": 4, "configs": "configuration-B"},
+        {"app": "synthetic", "np": 4, "configs": "configuration-A",
+         "lattice": True},
+        {"kind": "full_study", "app": "synthetic", "np": 4,
+         "configs": "configuration-A"},
+    ):
+        assert spec_digest(normalize(variant)) != spec_digest(base)

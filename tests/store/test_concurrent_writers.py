@@ -1,0 +1,158 @@
+"""Multi-client safety of the disk store and the atomic-write helpers.
+
+The study service runs a pool of worker threads over one attached
+store, and cluster sweeps add whole processes; these tests hammer the
+same digest / the same target path from many writers at once and
+assert the two guarantees the store documents:
+
+* a reader never sees a torn entry -- every successful ``get`` returns
+  a value some writer actually put, complete;
+* concurrent writers settle last-writer-wins: after the dust settles
+  the entry is intact and readable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+
+import pytest
+
+from repro.ioutil import atomic_path, atomic_write_text
+from repro.store.disk import INLINE_LIMIT, ResultStore
+
+DIGEST = "ab" + "0" * 62  # fixed shard/entry: maximum contention
+
+
+def _value(writer: int, i: int, big: bool) -> dict:
+    payload = "x" * (INLINE_LIMIT + 512 if big else 32)
+    return {"writer": writer, "iteration": i, "payload": payload}
+
+
+class TestConcurrentStoreWriters:
+    @pytest.mark.parametrize("big", [False, True],
+                             ids=["inline", "sidecar"])
+    def test_threads_same_digest(self, tmp_path, big):
+        """N threads x M writes of one digest; readers never see torn data."""
+        rs = ResultStore(tmp_path)
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def write(writer: int) -> None:
+            for i in range(25):
+                blob = pickle.dumps(_value(writer, i, big))
+                rs.put_encoded("stress", DIGEST, blob)
+
+        def read() -> None:
+            while not stop.is_set():
+                hit, value = self._get_raw(rs)
+                if hit and not (isinstance(value, dict)
+                                and "writer" in value
+                                and "payload" in value):
+                    errors.append(f"torn value: {value!r}")
+
+        writers = [threading.Thread(target=write, args=(w,))
+                   for w in range(8)]
+        readers = [threading.Thread(target=read) for _ in range(2)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        hit, value = self._get_raw(rs)
+        assert hit, "entry unreadable after the stampede"
+        assert value == _value(value["writer"], value["iteration"], big)
+
+    @staticmethod
+    def _get_raw(rs: ResultStore):
+        """Read the contended entry directly by its digest."""
+        import base64
+        import json
+
+        path = rs._entry_path("stress", DIGEST)
+        try:
+            envelope = json.loads(path.read_text())
+            if "payload" in envelope:
+                blob = base64.b64decode(envelope["payload"])
+            else:
+                blob = (path.parent / envelope["payload_file"]).read_bytes()
+            return True, pickle.loads(blob)
+        except FileNotFoundError:
+            return False, None
+
+    def test_processes_same_digest(self, tmp_path):
+        """Writer processes racing on one digest leave a complete entry."""
+        ctx = multiprocessing.get_context("spawn")
+        procs = [ctx.Process(target=_process_writer, args=(str(tmp_path), w))
+                 for w in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        hit, value = self._get_raw(ResultStore(tmp_path))
+        assert hit
+        assert value["payload"] == "x" * (INLINE_LIMIT + 512)
+
+
+def _process_writer(root: str, writer: int) -> None:
+    rs = ResultStore(root)
+    for i in range(15):
+        rs.put_encoded("stress", DIGEST,
+                       pickle.dumps(_value(writer, i, True)))
+
+
+class TestAtomicPathCollisions:
+    def test_threads_same_target_distinct_temps(self, tmp_path):
+        """Two threads inside one process must never share a temp file.
+
+        The pre-fix naming was pid-only, so this exact scenario -- two
+        service workers landing the same artifact -- interleaved bytes
+        in one temp file.
+        """
+        target = tmp_path / "artifact.npz"
+        barrier = threading.Barrier(8)
+        errors: list[str] = []
+
+        def write(writer: int) -> None:
+            body = bytes([writer]) * 4096
+            barrier.wait()
+            for _ in range(20):
+                try:
+                    with atomic_path(target) as tmp:
+                        tmp.write_bytes(body)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+
+        threads = [threading.Thread(target=write, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        data = target.read_bytes()
+        seen_bodies = set(data)
+        assert len(data) == 4096
+        assert len(seen_bodies) == 1, "temp files interleaved across writers"
+        assert not list(tmp_path.glob("*.tmp*")), "orphaned temp files"
+
+    def test_atomic_write_text_threads(self, tmp_path):
+        target = tmp_path / "entry.json"
+        contents = [f'{{"writer": {w}}}' * 64 for w in range(6)]
+
+        def write(w: int) -> None:
+            for _ in range(30):
+                atomic_write_text(target, contents[w])
+
+        threads = [threading.Thread(target=write, args=(w,))
+                   for w in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert target.read_text() in contents
