@@ -81,6 +81,39 @@ def _factory_for(name: str):
         raise SystemExit(str(exc)) from None
 
 
+def _jobs_type(value: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1, clear error."""
+    from repro.tracer.ingest import parse_jobs
+
+    try:
+        return parse_jobs(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _resolve_cli_jobs(args: argparse.Namespace) -> int:
+    """Effective ingest fan-out for a CLI command.
+
+    Precedence: ``--jobs`` flag, then a validated ``REPRO_INGEST_JOBS``
+    environment variable, then the cpu-count default (capped) -- the
+    CLI parallelizes by default; library calls stay serial unless
+    asked.
+    """
+    import os
+
+    from repro.tracer.ingest import ENV_JOBS, default_jobs, parse_jobs
+
+    if getattr(args, "jobs", None) is not None:
+        return args.jobs
+    env = os.environ.get(ENV_JOBS)
+    if env is not None and env.strip():
+        try:
+            return parse_jobs(env, what=ENV_JOBS)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    return default_jobs()
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     program, params = _app_for(args.app, args.np)
     model, bundle = characterize_app(program, args.np, params, app_name=args.app)
@@ -97,6 +130,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_model(args: argparse.Namespace) -> int:
+    jobs = _resolve_cli_jobs(args)
     if args.stream:
         if args.quarantine:
             raise SystemExit("--stream cannot salvage corrupt traces; "
@@ -105,7 +139,8 @@ def cmd_model(args: argparse.Namespace) -> int:
             raise SystemExit("--stream has a single (incremental) "
                              "extraction path; drop --method")
         from repro.core.pipeline import characterize_stream
-        model = characterize_stream(args.traces, app_name=args.name)
+        model = characterize_stream(args.traces, app_name=args.name,
+                                    jobs=jobs)
         if args.out:
             model.save(args.out)
         print(model.describe())
@@ -116,7 +151,7 @@ def cmd_model(args: argparse.Namespace) -> int:
     if args.quarantine:
         from repro.tracer.quarantine import QuarantineReport
         quarantine = QuarantineReport()
-    bundle = TraceBundle.load(args.traces, quarantine=quarantine)
+    bundle = TraceBundle.load(args.traces, quarantine=quarantine, jobs=jobs)
     if quarantine:
         print(quarantine.summary())
         print()
@@ -238,9 +273,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     program, params = _app_for(args.app, args.np)
     factory = _factory_for(args.config)
+    jobs = _resolve_cli_jobs(args)
     with ProfileSession() as prof:
         model, _ = characterize_app(program, args.np, params,
-                                    app_name=args.app)
+                                    app_name=args.app, jobs=jobs)
         est = estimate_on(model, factory, config_name=args.config)
         measure, mmodel = measure_on(program, args.np, params,
                                      cluster_factory=factory,
@@ -394,13 +430,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run the study service daemon until drained (SIGTERM or drain op)."""
     from repro.service import ServiceConfig, serve_forever
 
+    from repro.tracer.ingest import ingest_jobs
+
     host, port = _parse_hostport(args.listen)
     config = ServiceConfig(
         journal_dir=args.journal, host=host, port=port,
         workers=args.workers, queue_cap=args.queue_cap,
         executor=args.executor, cache_dir=args.cache_dir,
         retry_after_s=args.retry_after, metrics=args.metrics)
-    return serve_forever(config)
+    # Daemon-wide ingest default; per-request ``jobs`` QoS fields nest
+    # inside (the runner re-enters ingest_jobs with the spec's value).
+    with ingest_jobs(_resolve_cli_jobs(args)):
+        return serve_forever(config)
 
 
 def _print_batch_rows(rows: list[dict]) -> None:
@@ -433,6 +474,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
             spec["configs"] = args.configs.split(",")
         if args.deadline is not None:
             spec["deadline_s"] = args.deadline
+        if args.jobs is not None:
+            spec["jobs"] = args.jobs
         specs = [spec]
 
     resp = client.submit_batch(specs)
@@ -548,6 +591,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="salvage a partial model from corrupt/truncated "
                         "traces and print a per-rank report of what was "
                         "dropped")
+    p.add_argument("--jobs", type=_jobs_type, metavar="N",
+                   help="parallel ingest fan-out: shard the trace files "
+                        "across N worker processes (>= 1; default: "
+                        "$REPRO_INGEST_JOBS or the cpu count, capped at 8)")
     p.add_argument("--stream", action="store_true",
                    help="fold the trace incrementally (O(open-bursts) "
                         "memory) instead of loading it whole; the model "
@@ -622,6 +669,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True,
                    help="directory for events.jsonl, trace.chrome.json, "
                         "metrics.prom")
+    p.add_argument("--jobs", type=_jobs_type, metavar="N",
+                   help="parallel trace-ingest fan-out (>= 1; default: "
+                        "$REPRO_INGEST_JOBS or the cpu count, capped at 8)")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
@@ -685,6 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="enable repro.obs so the 'metrics' op serves "
                         "Prometheus text (service_* counters, queue gauge)")
+    p.add_argument("--jobs", type=_jobs_type, metavar="N",
+                   help="daemon-wide trace-ingest fan-out; per-request "
+                        "'jobs' QoS fields override it (>= 1; default: "
+                        "$REPRO_INGEST_JOBS or the cpu count, capped at 8)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit",
@@ -700,6 +754,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, metavar="SECONDS",
                    help="per-request deadline, propagated into the study's "
                         "RetryPolicy timeout")
+    p.add_argument("--jobs", type=_jobs_type, metavar="N",
+                   help="per-request trace-ingest fan-out QoS field "
+                        "(outside the spec digest, like --deadline)")
     p.add_argument("--batch-file",
                    help="JSON file with a list of request specs (or "
                         "{\"requests\": [...]}) instead of --app/--configs")

@@ -562,7 +562,7 @@ class LAPFolder:
     without ever having materialized the columns.
     """
 
-    def __init__(self, gap: int = 1):
+    def __init__(self, gap: int = 1, digest: bool = True):
         from repro.tracer.columns import StreamDigest
 
         self.gap = gap
@@ -571,7 +571,10 @@ class LAPFolder:
         #: (rank, file_id) -> dict of open-burst column lists
         self._open: dict[tuple[int, int], dict[str, list]] = {}
         self._entries: list[LAPEntry] = []
-        self.digest = StreamDigest()
+        # digest=False skips the per-chunk sha256 work entirely -- for
+        # callers that will never ask for content_digest() (e.g. a
+        # streaming characterization with no store attached)
+        self.digest = StreamDigest() if digest else None
         self.nrows = 0
         self.peak_open_rows = 0  # high-water mark of buffered rows
         self._finished = False
@@ -591,7 +594,8 @@ class LAPFolder:
             remap.append(code)
         if remap != list(range(len(remap))):
             lists["op_code"] = [remap[c] for c in lists["op_code"]]
-        self.digest.update(lists)
+        if self.digest is not None:
+            self.digest.update(lists)
         self._push_lists(lists)
 
     def push_records(self, records) -> None:
@@ -674,6 +678,8 @@ class LAPFolder:
 
     def content_digest(self) -> str:
         """The streamed trace's content digest (valid any time)."""
+        if self.digest is None:
+            raise RuntimeError("LAPFolder was built with digest=False")
         return self.digest.finalize(self.op_table)
 
 

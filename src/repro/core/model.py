@@ -151,13 +151,16 @@ class IOModel:
         with obs.span("characterize.model", cat="pipeline",
                       method="stream"):
             t0 = _time.perf_counter()
-            folder = LAPFolder(gap=gap)
+            # the digest is only ever consulted for the store cache key;
+            # with no store attached, skip hashing the stream entirely
+            want_key = _store.active() is not None
+            folder = LAPFolder(gap=gap, digest=want_key)
             with obs.span("characterize.laps", cat="pipeline"):
                 for chunk in chunks:
                     folder.push(chunk)
                 entries = folder.finish()
             key = None
-            if _store.active() is not None:
+            if want_key and _store.active() is not None:
                 meta = json.dumps(metadata.to_dict(), sort_keys=True) \
                     if metadata is not None else None
                 key = ("from_columns", folder.content_digest(), meta,

@@ -72,7 +72,8 @@ def _trace_key(stage: str, fp, program: Callable, nprocs: int, args: tuple,
 def characterize_app(program: Callable, nprocs: int, *args,
                      app_name: str = "app", tick_tol: int = 16,
                      platform=None,
-                     method: str = "columnar") -> tuple[IOModel, TraceBundle]:
+                     method: str = "columnar",
+                     jobs: int | None = None) -> tuple[IOModel, TraceBundle]:
     """Stage 1: trace the application off-line and extract its I/O model.
 
     The platform defaults to :class:`IdealPlatform` -- the model must not
@@ -87,9 +88,16 @@ def characterize_app(program: Callable, nprocs: int, *args,
     With a persistent store attached (:mod:`repro.store`) the traced
     run and extracted model are memoized, so re-characterizing the same
     application warm-starts from disk.
+
+    ``jobs`` scopes an ingest fan-out (:func:`repro.tracer.ingest
+    .ingest_jobs`) over the characterization: the in-process tracer
+    itself never parses text, but any trace-file ingest the program or
+    a nested load triggers inherits it.  The model is unaffected.
     """
+    from repro.tracer.ingest import ingest_jobs
+
     with obs.span("pipeline.characterize", cat="pipeline", app=app_name,
-                  np=nprocs) as sp:
+                  np=nprocs) as sp, ingest_jobs(jobs):
         plat = platform or IdealPlatform()
         key = _trace_key("characterize", simcache.platform_fingerprint(plat),
                          program, nprocs, args, app_name, tick_tol, method)
@@ -122,21 +130,27 @@ def build_model(bundle: TraceBundle, app_name: str = "app",
 
 def characterize_stream(directory, app_name: str = "app",
                         tick_tol: int = 16, gap: int = 1,
-                        chunk_rows: int = 1 << 16) -> IOModel:
+                        chunk_rows: int = 1 << 16,
+                        jobs: int | None = None) -> IOModel:
     """Extract the model from a saved trace directory, *streaming*.
 
-    The bundle's trace files are parsed chunk-wise and folded
-    incrementally (:meth:`IOModel.from_stream`), so a million-event
-    text trace characterizes in O(chunk + open bursts) memory while
+    The bundle's trace files are parsed block-wise through the ingest
+    engine's bulk kernel and folded incrementally
+    (:meth:`IOModel.from_stream`), so a million-event text trace
+    characterizes in O(parse block + open bursts) memory while
     producing the bit-identical model to :func:`build_model` on the
-    loaded bundle.
+    loaded bundle.  ``jobs`` > 1 fans the parse out across a process
+    pool (see :mod:`repro.tracer.ingest`; trades the memory bound for
+    speed), and with a persistent store attached re-runs warm-start
+    from the parse cache -- the model is identical either way.
     """
     from repro.tracer.hooks import stream_bundle
 
     with obs.span("pipeline.characterize_stream", cat="pipeline",
                   app=app_name) as sp:
         nprocs, metadata, chunks = stream_bundle(directory,
-                                                 chunk_rows=chunk_rows)
+                                                 chunk_rows=chunk_rows,
+                                                 jobs=jobs)
         model = IOModel.from_stream(chunks, metadata, nprocs,
                                     app_name=app_name, tick_tol=tick_tol,
                                     gap=gap)

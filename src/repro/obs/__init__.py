@@ -191,6 +191,16 @@ def _preregister(reg: MetricsRegistry) -> None:
     reg.counter("quarantined_lines_total",
                 "Trace inputs dropped by quarantine-mode ingest",
                 ("reason",))
+    reg.counter("ingest_files_total",
+                "Trace files parsed by the ingest engine")
+    reg.counter("ingest_rows_total",
+                "Trace rows parsed by the ingest engine", ("kernel",))
+    reg.counter("ingest_shards_total",
+                "Byte-range shards dispatched by parallel ingest")
+    reg.counter("ingest_cache_hits_total",
+                "Ingest parse-cache hits (repro.store)")
+    reg.counter("ingest_cache_misses_total",
+                "Ingest parse-cache misses (repro.store)")
     reg.counter("degraded_estimates_total",
                 "Degraded-mode estimations completed",
                 ("config", "outcome"))

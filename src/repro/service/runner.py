@@ -71,6 +71,7 @@ def run_request(spec: dict, *, executor=None,
     """
     from repro.core.estimate import select_configuration
     from repro.core.pipeline import characterize_app, full_study
+    from repro.tracer.ingest import ingest_jobs
 
     kind = spec["kind"]
     program, params = resolve_app(spec["app"], spec["np"])
@@ -78,45 +79,49 @@ def run_request(spec: dict, *, executor=None,
     ckpt = str(checkpoint_dir) if checkpoint_dir is not None else None
     resume = ckpt is not None
 
-    if kind == "characterize":
-        model, bundle = characterize_app(program, spec["np"], params,
-                                         app_name=spec["app"])
-        result = {
-            "kind": kind, "app": spec["app"], "np": spec["np"],
-            "nphases": model.nphases, "nevents": bundle.nevents,
-            "phases": [
-                {"phase_id": ph.phase_id, "op": ph.op_label,
-                 "np": ph.np, "rep": ph.rep, "weight": ph.weight}
-                for ph in model.phases],
-        }
-    elif kind == "select":
-        model, _ = characterize_app(program, spec["np"], params,
-                                    app_name=spec["app"])
-        factories = resolve_factories(spec["configs"])
-        choice = select_configuration(
-            model.phases, factories, retry=policy, timeout_s=timeout_s,
-            checkpoint_dir=ckpt, resume=resume,
-            lattice=spec.get("lattice", False), executor=executor)
-        result = {
-            "kind": kind, "app": spec["app"], "np": spec["np"],
-            "best": choice.best,
-            "totals": {name: t for name, t in sorted(choice.total_times.items())},
-        }
-    elif kind == "full_study":
-        factories = resolve_factories(spec["configs"])
-        study = full_study(program, spec["np"], params,
-                           cluster_factories=factories,
-                           app_name=spec["app"], retry=policy,
-                           timeout_s=timeout_s, checkpoint_dir=ckpt,
-                           resume=resume, executor=executor)
-        result = {
-            "kind": kind, "app": spec["app"], "np": spec["np"],
-            "best": study["selection"]["best"],
-            "totals": {name: t for name, t
-                       in sorted(study["selection"]["totals"].items())},
-            "nphases": study["model"].nphases,
-        }
-    else:  # normalize() guarantees this cannot happen on journaled specs
-        raise ValueError(f"unknown request kind {kind!r}")
+    # ``jobs`` is a QoS field: it widens the trace-ingest fan-out for
+    # everything this request executes without entering the digest.
+    with ingest_jobs(spec.get("jobs")):
+        if kind == "characterize":
+            model, bundle = characterize_app(program, spec["np"], params,
+                                             app_name=spec["app"])
+            result = {
+                "kind": kind, "app": spec["app"], "np": spec["np"],
+                "nphases": model.nphases, "nevents": bundle.nevents,
+                "phases": [
+                    {"phase_id": ph.phase_id, "op": ph.op_label,
+                     "np": ph.np, "rep": ph.rep, "weight": ph.weight}
+                    for ph in model.phases],
+            }
+        elif kind == "select":
+            model, _ = characterize_app(program, spec["np"], params,
+                                        app_name=spec["app"])
+            factories = resolve_factories(spec["configs"])
+            choice = select_configuration(
+                model.phases, factories, retry=policy, timeout_s=timeout_s,
+                checkpoint_dir=ckpt, resume=resume,
+                lattice=spec.get("lattice", False), executor=executor)
+            result = {
+                "kind": kind, "app": spec["app"], "np": spec["np"],
+                "best": choice.best,
+                "totals": {name: t
+                           for name, t in sorted(choice.total_times.items())},
+            }
+        elif kind == "full_study":
+            factories = resolve_factories(spec["configs"])
+            study = full_study(program, spec["np"], params,
+                               cluster_factories=factories,
+                               app_name=spec["app"], retry=policy,
+                               timeout_s=timeout_s, checkpoint_dir=ckpt,
+                               resume=resume, executor=executor)
+            result = {
+                "kind": kind, "app": spec["app"], "np": spec["np"],
+                "best": study["selection"]["best"],
+                "totals": {name: t for name, t
+                           in sorted(study["selection"]["totals"].items())},
+                "nphases": study["model"].nphases,
+            }
+        else:  # normalize() guarantees this cannot happen on journaled specs
+            raise ValueError(f"unknown request kind {kind!r}")
     result["output_digest"] = result_digest(result)
     return result

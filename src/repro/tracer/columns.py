@@ -249,6 +249,15 @@ class TraceColumns:
         """New TraceColumns holding rows ``indices`` in that order."""
         kwargs = {}
         if self.backend == "numpy":
+            if isinstance(indices, range) and indices.step == 1:
+                # contiguous row window: O(1) views instead of an O(n)
+                # index materialization + fancy-index copy -- this is
+                # the binary-bundle streaming re-slice hot path
+                for name in ALL_COLUMNS:
+                    kwargs[name] = getattr(self, name)[indices.start:
+                                                       indices.stop]
+                return TraceColumns(op_table=self.op_table,
+                                    backend=self.backend, **kwargs)
             idx = np.asarray(indices)
             for name in ALL_COLUMNS:
                 kwargs[name] = getattr(self, name)[idx]
@@ -280,6 +289,35 @@ class TraceColumns:
         backend = backend or (parts[0].backend if parts else default_backend())
         op_table: list[str] = []
         op_index: dict[str, int] = {}
+        if backend == "numpy" and np is not None \
+                and all(p.backend == "numpy" for p in parts):
+            # array fast path: remap op codes through a lookup vector
+            # and concatenate columns wholesale -- no per-row Python
+            # loop.  Interning order (first appearance across parts)
+            # matches the list path, so content_digest is unchanged.
+            arrs: dict[str, list] = {name: [] for name in ALL_COLUMNS}
+            for part in parts:
+                remap = []
+                for op in part.op_table:
+                    code = op_index.get(op)
+                    if code is None:
+                        code = op_index[op] = len(op_table)
+                        op_table.append(op)
+                    remap.append(code)
+                codes = part.op_code
+                if remap != list(range(len(remap))) and len(codes):
+                    codes = np.asarray(remap, dtype=np.int64)[codes]
+                for name in ALL_COLUMNS:
+                    col = codes if name == "op_code" else getattr(part, name)
+                    arrs[name].append(col)
+            kwargs = {}
+            for name in ALL_COLUMNS:
+                if arrs[name]:
+                    kwargs[name] = np.concatenate(arrs[name])
+                else:
+                    dtype = np.float64 if name in FLOAT_COLUMNS else np.int64
+                    kwargs[name] = np.zeros(0, dtype=dtype)
+            return cls(op_table=op_table, backend=backend, **kwargs)
         cols = cls._empty_lists()
         for part in parts:
             remap = []
@@ -500,11 +538,17 @@ def read_trace_columns(path: str | Path, *,
                        etype_size: int | Mapping[int, int] | None = None,
                        backend: str | None = None,
                        chunk_lines: int = 1 << 16,
-                       quarantine=None) -> TraceColumns:
-    """Chunked/streaming parse of a Fig. 2 text trace into columns.
+                       quarantine=None,
+                       jobs: int | None = None,
+                       cache: bool | None = None) -> TraceColumns:
+    """Parse a Fig. 2 text trace into columns through the ingest engine.
 
-    Memory is O(chunk) beyond the output columns themselves: no
-    per-row dataclass is ever built.  Parsing and error handling match
+    Delegates to :func:`repro.tracer.ingest.ingest_columns`: the bulk
+    numpy tokenizer on clean blocks, sharded parallel parsing with
+    ``jobs`` > 1, and the persistent parse cache when a store is
+    attached -- all bit-identical to the classic line-wise parse
+    (:func:`_read_trace_columns_lines`), which remains the fallback and
+    the reference.  Parsing and error handling match
     :func:`repro.tracer.tracefile.read_trace_file`: the header is
     skipped only when line 1 equals ``HEADER`` exactly, malformed rows
     raise ``ValueError`` with ``path:lineno``, and legacy 8-field rows
@@ -516,6 +560,28 @@ def read_trace_columns(path: str | Path, *,
     are recorded and skipped instead of raising; every well-formed row
     around them is salvaged, and column alignment is preserved (a row is
     appended only after *all* its fields parsed).
+
+    ``jobs`` / ``cache`` tune the engine (``None`` = resolve from the
+    ``REPRO_INGEST_JOBS`` env var / store attachment); see
+    :mod:`repro.tracer.ingest`.
+    """
+    from .ingest import ingest_columns
+
+    return ingest_columns(path, etype_size=etype_size, backend=backend,
+                          chunk_lines=chunk_lines, quarantine=quarantine,
+                          jobs=jobs, cache=cache)
+
+
+def _read_trace_columns_lines(path: str | Path, *,
+                              etype_size=None, backend: str | None = None,
+                              chunk_lines: int = 1 << 16,
+                              quarantine=None) -> TraceColumns:
+    """The classic chunked line-wise parse (the ingest reference path).
+
+    Memory is O(chunk) beyond the output columns themselves: no
+    per-row dataclass is ever built.  Kept as a standalone entry point
+    so the ingest engine, the parity tests and the benchmark's
+    before-leg can run it directly.
     """
     path = Path(path)
     backend = backend or default_backend()

@@ -30,12 +30,7 @@ from repro.ioutil import atomic_write_text
 from repro.simmpi.engine import Engine
 from repro.simmpi.fileio import IOEvent
 
-from .columns import (
-    TraceColumns,
-    iter_trace_column_chunks,
-    numpy_enabled,
-    read_trace_columns,
-)
+from .columns import TraceColumns, numpy_enabled
 from .metadata import AppMetadata
 from .tracefile import TraceRecord, write_trace_file
 
@@ -110,7 +105,7 @@ class TraceBundle:
 
     @classmethod
     def load(cls, directory: str | Path,
-             quarantine=None) -> "TraceBundle":
+             quarantine=None, jobs: int | None = None) -> "TraceBundle":
         """Load a saved bundle, auto-detecting binary vs. text layout.
 
         With ``quarantine`` (a
@@ -122,6 +117,11 @@ class TraceBundle:
         a fallback to any per-rank text files, and each text file
         salvages its well-formed rows line by line.  Missing rank files
         are reported per rank and the remaining ranks survive.
+
+        Text traces parse through the ingest engine
+        (:mod:`repro.tracer.ingest`): ``jobs`` > 1 fans the rank files
+        out across a process pool, with output, errors and quarantine
+        reports identical to the serial load.
         """
         from .quarantine import RANK_UNKNOWN
 
@@ -165,18 +165,11 @@ class TraceBundle:
                 nprocs = (max(ranks) + 1) if ranks else 0
             etypes = ({f.file_id: f.etype_size for f in metadata.files}
                       if metadata is not None else None)
-            parts = []
-            for rank in range(nprocs):
-                rank_path = directory / f"trace.{rank}"
-                try:
-                    parts.append(read_trace_columns(rank_path,
-                                                    etype_size=etypes,
-                                                    quarantine=quarantine))
-                except OSError as exc:
-                    if not salvaging:
-                        raise
-                    quarantine.note(rank_path, rank, 0,
-                                    f"missing trace file: {type(exc).__name__}")
+            from .ingest import ingest_rank_files
+
+            parts = ingest_rank_files(
+                [directory / f"trace.{rank}" for rank in range(nprocs)],
+                etype_size=etypes, quarantine=quarantine, jobs=jobs)
             columns = TraceColumns.concat(parts)
         if nprocs is None:
             nprocs = int(max(columns.rank)) + 1 if len(columns) else 0
@@ -184,7 +177,7 @@ class TraceBundle:
 
 
 def stream_bundle(directory: str | Path, chunk_rows: int = 1 << 16,
-                  backend: str | None = None):
+                  backend: str | None = None, jobs: int | None = None):
     """Open a saved bundle for *streaming* characterization.
 
     Returns ``(nprocs, metadata, chunks)`` where ``chunks`` lazily
@@ -193,11 +186,15 @@ def stream_bundle(directory: str | Path, chunk_rows: int = 1 << 16,
     it straight to :meth:`repro.core.model.IOModel.from_stream`.
 
     Text bundles (``trace.<rank>`` files) stream for real: each rank
-    file is parsed chunk-wise (:func:`iter_trace_column_chunks`) in rank
-    order, so peak memory is O(chunk + open bursts) regardless of trace
-    length.  Binary bundles are a single column blob -- those load and
-    are re-sliced, which bounds the *folding* memory but not the load
-    itself (save with ``binary=False`` for true streaming).
+    file is parsed block-wise through the ingest engine's bulk kernel
+    (:func:`repro.tracer.ingest.iter_ingest_chunks`) in rank order, so
+    peak memory is O(parse block + open bursts) regardless of trace
+    length.  ``jobs`` > 1 -- or a warm parse cache -- trades that bound
+    for speed: each rank file materializes (sharded across a pool /
+    loaded from the cache) and re-slices as O(1) views.  Binary bundles
+    are a single column blob -- those load and are re-sliced, which
+    bounds the *folding* memory but not the load itself (save with
+    ``binary=False`` for true streaming).
     """
     directory = Path(directory)
     payload = json.loads((directory / "metadata.json").read_text())
@@ -217,10 +214,12 @@ def stream_bundle(directory: str | Path, chunk_rows: int = 1 << 16,
             for lo in range(0, len(cols), chunk_rows):
                 yield cols.take(range(lo, min(lo + chunk_rows, len(cols))))
             return
+        from .ingest import iter_ingest_chunks
+
         for rank in range(nprocs):
-            yield from iter_trace_column_chunks(
+            yield from iter_ingest_chunks(
                 directory / f"trace.{rank}", etype_size=etypes,
-                backend=backend, chunk_rows=chunk_rows)
+                backend=backend, chunk_rows=chunk_rows, jobs=jobs)
 
     return nprocs, metadata, chunks()
 

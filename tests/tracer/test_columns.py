@@ -182,3 +182,67 @@ class TestReordering:
 
     def test_empty_concat(self):
         assert len(TraceColumns.concat([])) == 0
+
+
+class TestConcatTakeEdges:
+    """Shard-gather edge cases the parallel ingest engine leans on."""
+
+    def test_concat_with_empty_parts_interleaved(self):
+        full = TraceColumns.from_records(sample_records(9))
+        empty = TraceColumns.from_records([])
+        out = TraceColumns.concat([empty, full.take(range(0, 4)), empty,
+                                   full.take(range(4, 9)), empty])
+        assert out.to_records() == full.to_records()
+        assert out.content_digest() == full.content_digest()
+
+    def test_concat_all_empty_parts(self):
+        empty = TraceColumns.from_records([])
+        out = TraceColumns.concat([empty, empty])
+        assert len(out) == 0
+        assert out.content_digest() == empty.content_digest()
+
+    def test_concat_single_row_shards(self):
+        records = sample_records(7)
+        full = TraceColumns.from_records(records)
+        shards = [TraceColumns.from_records([r]) for r in records]
+        out = TraceColumns.concat(shards)
+        assert out.to_records() == records
+        assert out.content_digest() == full.content_digest()
+        assert out.op_table == full.op_table
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_concat_mixed_backends_matches_pure(self):
+        records = sample_records(12)
+        a = TraceColumns.from_records(records[:5], backend="numpy")
+        b = TraceColumns.from_records(records[5:], backend="python")
+        full = TraceColumns.from_records(records)
+        for backend in ("numpy", "python"):
+            out = TraceColumns.concat([a, b], backend=backend)
+            assert out.backend == backend
+            assert out.to_records() == records
+            assert out.content_digest() == full.content_digest()
+
+    @BACKENDS
+    def test_take_then_concat_round_trips_on_boundaries(self, backend):
+        # shard cuts landing exactly on record boundaries: re-gathering
+        # contiguous windows must reproduce the original bit for bit
+        records = sample_records(10)
+        cols = TraceColumns.from_records(records, backend=backend)
+        for cut in (0, 1, 5, 9, 10):
+            parts = [cols.take(range(0, cut)), cols.take(range(cut, 10))]
+            out = TraceColumns.concat(parts, backend=backend)
+            assert out.to_records() == records
+            assert out.content_digest() == cols.content_digest()
+
+    @BACKENDS
+    def test_take_range_matches_take_list(self, backend):
+        cols = TraceColumns.from_records(sample_records(10), backend=backend)
+        view = cols.take(range(3, 8))
+        copy = cols.take(list(range(3, 8)))
+        assert view.to_records() == copy.to_records()
+        assert view.content_digest() == copy.content_digest()
+
+    @BACKENDS
+    def test_take_empty_range(self, backend):
+        cols = TraceColumns.from_records(sample_records(5), backend=backend)
+        assert len(cols.take(range(2, 2))) == 0

@@ -1,0 +1,364 @@
+"""The parallel ingest engine vs the classic line-wise parser.
+
+Every layer of :mod:`repro.tracer.ingest` -- bulk tokenizer blocks,
+byte-range sharding, the persistent parse cache -- claims *bit-identical*
+output with ``_read_trace_columns_lines``: same columns, same op-table
+interning order, same ``content_digest``, same strict errors
+(``path:lineno`` exact) and same quarantine reports.  These tests pin
+that contract, serial and parallel, on seed-shaped and adversarial
+traces.
+
+Parallel legs inject ``SerialExecutor`` so they exercise the shard
+protocol (bounds, prefix-summed line numbers, entry replay) without
+spawning processes; one smoke test runs a real ``PoolExecutor``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import store
+from repro.core.executors.base import SerialExecutor
+from repro.tracer.columns import TraceColumns, _read_trace_columns_lines
+from repro.tracer.ingest import (
+    ENV_JOBS,
+    default_jobs,
+    ingest_columns,
+    ingest_jobs,
+    ingest_rank_files,
+    iter_ingest_chunks,
+    parse_jobs,
+    resolve_jobs,
+)
+from repro.tracer.quarantine import QuarantineReport
+from repro.tracer.tracefile import HEADER
+
+OPS = ["MPI_File_write_at", "MPI_File_read_at", "MPI_File_write_at_all",
+       "MPI_File_read", "MPI_File_iwrite_at"]
+
+
+def trace_text(nrows: int, *, header: bool = True, seed: int = 0) -> str:
+    """A deterministic Fig. 2 trace body (no RNG: rows derive from i)."""
+    rows = []
+    for i in range(nrows):
+        k = (i * 7 + seed) % 97
+        rows.append(f"{i % 4} {k % 3} {OPS[k % len(OPS)]} {k * 64} "
+                    f"{i + 1} {4096 + k} {i * 0.25:.6f} {k * 0.001:.6f} "
+                    f"{k * 512}")
+    body = "\n".join(rows) + ("\n" if rows else "")
+    return (HEADER + "\n" + body) if header else body
+
+
+def write_trace(tmp_path, text: str, name: str = "trace.0"):
+    p = tmp_path / name
+    p.write_text(text)
+    return p
+
+
+def assert_same(a: TraceColumns, b: TraceColumns):
+    assert len(a) == len(b)
+    assert a.op_table == b.op_table
+    assert a.content_digest() == b.content_digest()
+
+
+class TestSerialParity:
+    """Engine output == classic parser output, file by file."""
+
+    def test_clean_trace_matches_classic(self, tmp_path):
+        p = write_trace(tmp_path, trace_text(500))
+        assert_same(ingest_columns(p), _read_trace_columns_lines(p))
+
+    def test_headerless_trace(self, tmp_path):
+        p = write_trace(tmp_path, trace_text(50, header=False))
+        assert_same(ingest_columns(p), _read_trace_columns_lines(p))
+
+    def test_crlf_and_no_trailing_newline(self, tmp_path):
+        text = trace_text(40).replace("\n", "\r\n").rstrip("\r\n")
+        p = write_trace(tmp_path, text)
+        assert_same(ingest_columns(p), _read_trace_columns_lines(p))
+
+    def test_empty_file(self, tmp_path):
+        p = write_trace(tmp_path, "")
+        assert_same(ingest_columns(p), _read_trace_columns_lines(p))
+
+    def test_blank_leading_line_keeps_linenos(self, tmp_path):
+        p = write_trace(tmp_path, "\n" + trace_text(10, header=False))
+        assert_same(ingest_columns(p), _read_trace_columns_lines(p))
+
+    def test_legacy_8_field_rows(self, tmp_path):
+        rows = [r.rsplit(" ", 1)[0]
+                for r in trace_text(20, header=False).splitlines()]
+        p = write_trace(tmp_path, HEADER + "\n" + "\n".join(rows) + "\n")
+        et = {0: 8, 1: 4, 2: 16}
+        assert_same(ingest_columns(p, etype_size=et),
+                    _read_trace_columns_lines(p, etype_size=et))
+
+    def test_strict_error_names_exact_line(self, tmp_path):
+        lines = trace_text(30).splitlines()
+        lines[11] = "this is garbage"
+        p = write_trace(tmp_path, "\n".join(lines) + "\n")
+        with pytest.raises(ValueError) as eng:
+            ingest_columns(p)
+        with pytest.raises(ValueError) as ref:
+            _read_trace_columns_lines(p)
+        assert str(eng.value) == str(ref.value)
+        assert f"{p}:12:" in str(eng.value)
+
+    def test_quarantine_report_identical(self, tmp_path):
+        lines = trace_text(60).splitlines()
+        lines[7] = "bad row"
+        lines[33] = "1 2 MPI_File_read_at nope 3 4 0.1 0.1 0"
+        p = write_trace(tmp_path, "\n".join(lines) + "\n")
+        q_eng, q_ref = QuarantineReport(), QuarantineReport()
+        assert_same(ingest_columns(p, quarantine=q_eng),
+                    _read_trace_columns_lines(p, quarantine=q_ref))
+        assert q_eng.entries == q_ref.entries
+
+
+class TestShardedParity:
+    """jobs > 1: byte-range shards gather to the identical result."""
+
+    # ~18 MB: enough for 4 byte-range shards (MIN_SHARD_BYTES = 4 MiB)
+    def big_trace(self, tmp_path, nrows=300_000, corrupt=()):
+        lines = trace_text(nrows).splitlines()
+        for lineno in corrupt:
+            lines[lineno - 1] = f"corrupt row {lineno}"
+        return write_trace(tmp_path, "\n".join(lines) + "\n")
+
+    def test_parallel_matches_serial(self, tmp_path):
+        p = self.big_trace(tmp_path)
+        serial = ingest_columns(p, jobs=1)
+        par = ingest_columns(p, jobs=4, executor=SerialExecutor())
+        assert_same(par, serial)
+
+    def test_quarantine_merge_deterministic(self, tmp_path):
+        # corrupt rows spread across multiple shards: the parallel
+        # report must replay in (path, lineno) order, byte-identical
+        # to the serial one
+        bad = (5, 80_001, 160_002, 240_003, 299_999)
+        p = self.big_trace(tmp_path, corrupt=bad)
+        q_ser, q_par = QuarantineReport(), QuarantineReport()
+        serial = ingest_columns(p, jobs=1, quarantine=q_ser)
+        par = ingest_columns(p, jobs=4, executor=SerialExecutor(),
+                             quarantine=q_par)
+        assert_same(par, serial)
+        assert q_par.entries == q_ser.entries
+        assert [e.lineno for e in q_par.entries] == list(bad)
+
+    def test_strict_error_from_later_shard(self, tmp_path):
+        p = self.big_trace(tmp_path, corrupt=(240_003,))
+        with pytest.raises(ValueError) as eng:
+            ingest_columns(p, jobs=4, executor=SerialExecutor())
+        with pytest.raises(ValueError) as ref:
+            _read_trace_columns_lines(p)
+        assert str(eng.value) == str(ref.value)
+
+    def test_small_file_never_shards(self, tmp_path):
+        # below MIN_SHARD_BYTES the executor must not be consulted
+        class Exploding:
+            def run(self, *a, **kw):
+                raise AssertionError("sharded a tiny file")
+
+        p = write_trace(tmp_path, trace_text(100))
+        assert_same(ingest_columns(p, jobs=8, executor=Exploding()),
+                    _read_trace_columns_lines(p))
+
+    def test_executor_failure_falls_back_to_serial(self, tmp_path):
+        class Broken:
+            def run(self, *a, **kw):
+                raise RuntimeError("pool died")
+
+        p = self.big_trace(tmp_path)
+        assert_same(ingest_columns(p, jobs=4, executor=Broken()),
+                    _read_trace_columns_lines(p))
+
+    def test_real_pool_smoke(self, tmp_path):
+        from repro.core.executors.pool import PoolExecutor
+
+        p = self.big_trace(tmp_path)
+        par = ingest_columns(p, jobs=2, executor=PoolExecutor(max_workers=2))
+        assert_same(par, _read_trace_columns_lines(p))
+
+
+class TestRankFiles:
+    """Bundle-level fan-out: whole files across the pool."""
+
+    def bundle(self, tmp_path, nranks=4):
+        return [write_trace(tmp_path, trace_text(200, seed=r),
+                            name=f"trace.{r}") for r in range(nranks)]
+
+    def test_parallel_matches_serial(self, tmp_path):
+        paths = self.bundle(tmp_path)
+        serial = ingest_rank_files(paths, jobs=1)
+        par = ingest_rank_files(paths, jobs=4, executor=SerialExecutor())
+        assert_same(TraceColumns.concat(par), TraceColumns.concat(serial))
+
+    def test_missing_file_notes_match(self, tmp_path):
+        paths = self.bundle(tmp_path)
+        paths[2].unlink()
+        q_ser, q_par = QuarantineReport(), QuarantineReport()
+        serial = ingest_rank_files(paths, jobs=1, quarantine=q_ser)
+        par = ingest_rank_files(paths, jobs=4, executor=SerialExecutor(),
+                                quarantine=q_par)
+        assert q_par.entries == q_ser.entries
+        assert len(par) == len(serial) == 3
+
+    def test_missing_file_raises_oserror_strict(self, tmp_path):
+        paths = self.bundle(tmp_path)
+        paths[1].unlink()
+        with pytest.raises(OSError):
+            ingest_rank_files(paths, jobs=4, executor=SerialExecutor())
+
+
+class TestStreamingChunks:
+    def test_chunks_concat_to_classic(self, tmp_path):
+        p = write_trace(tmp_path, trace_text(5_000))
+        chunks = list(iter_ingest_chunks(p, chunk_rows=777))
+        assert all(len(c) <= 777 for c in chunks)
+        assert_same(TraceColumns.concat(chunks),
+                    _read_trace_columns_lines(p))
+
+    def test_chunks_respect_jobs_materialization(self, tmp_path):
+        p = write_trace(tmp_path, trace_text(3_000))
+        with ingest_jobs(1):
+            chunks = list(iter_ingest_chunks(p, chunk_rows=512, jobs=1))
+        assert_same(TraceColumns.concat(chunks),
+                    _read_trace_columns_lines(p))
+
+
+class TestParseCache:
+    @pytest.fixture(autouse=True)
+    def fresh_store(self, tmp_path):
+        prev = store.active()
+        store.attach(tmp_path / "cache")
+        yield
+        if prev is not None:
+            store.attach(prev.root)
+        else:
+            store.detach()
+
+    def test_warm_hit_is_identical(self, tmp_path):
+        p = write_trace(tmp_path, trace_text(2_000))
+        cold = ingest_columns(p)
+        assert store.active().stats()["ingest"]["entries"] == 1
+        warm = ingest_columns(p)
+        assert_same(warm, cold)
+        assert_same(warm, _read_trace_columns_lines(p))
+
+    def test_content_change_invalidates(self, tmp_path):
+        p = write_trace(tmp_path, trace_text(2_000))
+        ingest_columns(p)
+        p.write_text(trace_text(2_000, seed=5))
+        again = ingest_columns(p)
+        assert store.active().stats()["ingest"]["entries"] == 2
+        assert_same(again, _read_trace_columns_lines(p))
+
+    def test_etype_size_keys_separately(self, tmp_path):
+        rows = [r.rsplit(" ", 1)[0]
+                for r in trace_text(50, header=False).splitlines()]
+        p = write_trace(tmp_path, HEADER + "\n" + "\n".join(rows) + "\n")
+        a = ingest_columns(p, etype_size={0: 4, 1: 4, 2: 4})
+        b = ingest_columns(p, etype_size={0: 8, 1: 8, 2: 8})
+        assert store.active().stats()["ingest"]["entries"] == 2
+        assert a.content_digest() != b.content_digest()
+
+    def test_quarantine_bypasses_cache(self, tmp_path):
+        lines = trace_text(100).splitlines()
+        lines[10] = "junk"
+        p = write_trace(tmp_path, "\n".join(lines) + "\n")
+        q = QuarantineReport()
+        ingest_columns(p, quarantine=q)
+        assert store.active().stats().get("ingest", {}).get("entries", 0) == 0
+
+    def test_cache_false_bypasses(self, tmp_path):
+        p = write_trace(tmp_path, trace_text(100))
+        ingest_columns(p, cache=False)
+        assert store.active().stats().get("ingest", {}).get("entries", 0) == 0
+
+
+class TestJobsResolution:
+    def test_parse_jobs_accepts_ints(self):
+        assert parse_jobs(3) == 3
+        assert parse_jobs("7") == 7
+        assert parse_jobs(" 2 ") == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, "x", "1.5", None, True, ""])
+    def test_parse_jobs_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_jobs(bad)
+
+    def test_env_var_resolves(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "5")
+        assert resolve_jobs(None) == 5
+        assert resolve_jobs(2) == 2  # explicit wins
+
+    def test_env_var_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "zero")
+        with pytest.raises(ValueError, match=ENV_JOBS):
+            resolve_jobs(None)
+
+    def test_context_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "5")
+        with ingest_jobs(3):
+            assert resolve_jobs(None) == 3
+            with ingest_jobs(None):  # None leaves the outer value
+                assert resolve_jobs(None) == 3
+        assert resolve_jobs(None) == 5
+
+    def test_default_jobs_capped(self):
+        assert 1 <= default_jobs() <= 8
+
+    def test_library_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert resolve_jobs(None) == 1
+
+
+class TestServiceSpecJobs:
+    def test_jobs_is_qos_not_identity(self):
+        from repro.service.spec import normalize, spec_digest
+
+        base = normalize({"kind": "characterize", "app": "synthetic",
+                          "np": 4})
+        jobbed = normalize({"kind": "characterize", "app": "synthetic",
+                            "np": 4, "jobs": 4})
+        assert jobbed["jobs"] == 4
+        assert spec_digest(base) == spec_digest(jobbed)
+
+    @pytest.mark.parametrize("bad", [0, -3, "many", 1.5])
+    def test_bad_jobs_rejected_at_admission(self, bad):
+        from repro.service.spec import BadRequest, normalize
+
+        with pytest.raises(BadRequest):
+            normalize({"kind": "characterize", "app": "synthetic",
+                       "np": 4, "jobs": bad})
+
+
+line_strategy = st.one_of(
+    st.integers(0, 10_000).map(
+        lambda k: f"{k % 8} {k % 3} {OPS[k % len(OPS)]} {k * 64} {k + 1} "
+                  f"{4096 + k} {k * 0.25:.6f} {k * 0.001:.6f} {k * 512}"),
+    st.just(""),
+    st.sampled_from(["garbage", "1 2 3", "a b c d e f g h i",
+                     "0 0 MPI_File_read_at -1 1 10 0.1 bad 0"]),
+)
+
+
+class TestHypothesisParity:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(line_strategy, max_size=200), st.booleans())
+    def test_random_traces_quarantine_parity(self, tmp_path_factory,
+                                             lines, header):
+        tmp = tmp_path_factory.mktemp("hyp")
+        text = ("\n".join(([HEADER] if header else []) + lines))
+        if lines:
+            text += "\n"
+        p = write_trace(tmp, text)
+        q_eng, q_ref = QuarantineReport(), QuarantineReport()
+        eng = ingest_columns(p, quarantine=q_eng, cache=False)
+        ref = _read_trace_columns_lines(p, quarantine=q_ref)
+        assert_same(eng, ref)
+        assert q_eng.entries == q_ref.entries
